@@ -1,0 +1,49 @@
+# pipecache - ISCA 1992 pipelined primary cache study reproduction
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/cpisim/ .
+
+# One iteration of every paper table/figure benchmark plus microbenches.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
+
+# Full-fidelity benchmark run (longer traces).
+bench-full:
+	PIPECACHE_BENCH_INSTS=2000000 $(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/
+	$(GO) test -fuzz FuzzParseInst -fuzztime 30s ./internal/isa/
+	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzParseCircuit -fuzztime 30s ./internal/timing/
+
+tables:
+	$(GO) run ./cmd/pipecache tables
+
+figures:
+	$(GO) run ./cmd/pipecache figures
+
+sweep:
+	$(GO) run ./cmd/pipecache sweep
+
+ablations:
+	$(GO) run ./cmd/pipecache ablations
+
+clean:
+	$(GO) clean ./...
+	rm -f trace.pct test_output.txt bench_output.txt

@@ -1,0 +1,537 @@
+package pipecache
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, each printing the rows/series it reproduces (compare against
+// EXPERIMENTS.md), plus microbenchmarks of the simulator substrate.
+//
+// The full 16-benchmark suite is synthesized once per test binary; the
+// per-pass instruction budget defaults to 300k per benchmark and can be
+// raised with PIPECACHE_BENCH_INSTS for full-fidelity runs:
+//
+//	PIPECACHE_BENCH_INSTS=2000000 go test -bench=. -benchtime=1x
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *Lab
+	benchErr  error
+)
+
+func lab(b *testing.B) *Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		insts := int64(300_000)
+		if s := os.Getenv("PIPECACHE_BENCH_INSTS"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				benchErr = fmt.Errorf("bad PIPECACHE_BENCH_INSTS: %v", err)
+				return
+			}
+			insts = v
+		}
+		suite, err := BuildSuite(Benchmarks())
+		if err != nil {
+			benchErr = err
+			return
+		}
+		p := DefaultParams()
+		p.Insts = insts
+		benchLab, benchErr = NewLab(suite, p)
+		if benchErr == nil {
+			benchErr = benchLab.Prewarm()
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+// report prints the reproduced table/figure once per benchmark run.
+func report(b *testing.B, v fmt.Stringer) {
+	b.Helper()
+	b.StopTimer()
+	if !testing.Verbose() {
+		fmt.Println(v)
+	} else {
+		b.Log("\n" + v.String())
+	}
+	b.StartTimer()
+}
+
+func BenchmarkTable1_BenchmarkMix(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable2_CodeExpansion(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable3_StaticBranchPrediction(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable4_BTB(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable5_LoadDelayCPI(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable6_CycleTimes(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure3_BranchSlotsMissCPI(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure3(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure4_CPIvsICacheSize(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure4(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure5_CPIvsTcpu(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure6_EpsilonUnrestricted(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure7_EpsilonRestricted(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure8_CPIvsDCacheSize(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure8(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure9_TPIvsDCacheSize(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure10_Floorplan(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r := l.Figure10()
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure11_RelativeCPI(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure11(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkFigure12_TPIOptimum(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+			opt, err := l.BestDesign(l.P.L2TimeNs, LoadStatic, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			fmt.Printf("optimum: %s\n\n", opt.Best)
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkFigure13_TPILowPenalty(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+			opt, err := l.BestDesign(l.P.L2TimeNs*0.6, LoadStatic, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			fmt.Printf("optimum (low penalty): %s\n\n", opt.Best)
+			b.StartTimer()
+		}
+	}
+}
+
+// ---- Substrate microbenchmarks ----
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated instructions
+// per second through the interpreter + caches + delay accounting.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := LookupBenchmark("espresso")
+	prog, err := BuildProgram(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SimConfig{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(cfg, []Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Benches[0].Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkCacheAccess measures the raw cache model.
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := NewCache(CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 2, WriteBack: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i*7)&0xfffff, i&7 == 0)
+	}
+}
+
+// BenchmarkBTBResolve measures the branch-target buffer.
+func BenchmarkBTBResolve(b *testing.B) {
+	buf, err := NewBTB(PaperBTB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i*13) & 0xffff
+		buf.Resolve(pc, i&3 != 0, pc+64)
+	}
+}
+
+// BenchmarkInterp measures the bare interpreter event stream.
+func BenchmarkInterp(b *testing.B) {
+	spec, _ := LookupBenchmark("loops")
+	prog, err := BuildProgram(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	it, err := NewInterp(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCollector(8)
+	b.ResetTimer()
+	it.Run(int64(b.N), c)
+}
+
+// BenchmarkTimingAnalyzer measures the Karp max-cycle-mean solver on the
+// CPU graph.
+func BenchmarkTimingAnalyzer(b *testing.B) {
+	m := DefaultTimingModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TCPU(32, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslate measures the delay-slot post-processor on a full
+// benchmark image.
+func BenchmarkTranslate(b *testing.B) {
+	spec, _ := LookupBenchmark("gcc")
+	prog, err := BuildProgram(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Translate(prog, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benchmarks (the paper's extensions and future work) ----
+
+func BenchmarkAblation_Associativity(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.AssocStudy(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_BlockSize(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.BlockSizeStudy(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_TwoLevel(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.TwoLevelStudy(4, []int{32, 64, 128, 256, 512}, 6, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_WritePolicy(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.WritePolicyStudy(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_BTBSize(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.BTBSizeStudy([]int{64, 256, 1024, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_ProfilePrediction(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.ProfileStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_Quantum(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.QuantumStudy(8, 10, []int64{2000, 20000, 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkAblation_Stability(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.StabilityStudy([]uint64{0, 0xA5A5, 0x5A5A})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+			b.StopTimer()
+			fmt.Printf("optimal depths agree across seeds: %v\n\n", r.DepthsAgree())
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkDepthMatrix(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.DepthMatrix(l.P.L2TimeNs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+			b.StopTimer()
+			fmt.Printf("b = l diagonal optimal: %v\n\n", r.DiagonalOptimal(0.05))
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkAsymmetricSplits(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.AsymmetryStudy(l.P.L2TimeNs * 0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command mintcpu is a standalone minimum-cycle-time analyzer for
+// latch-level circuit descriptions — the reproduction's stand-in for the
+// paper's minTcpu tool [SMO90]. Under ideal multiphase clocking
+// (transparent latches with time borrowing), the minimum clock period of a
+// synchronous circuit is the maximum cycle mean of its delay graph, which
+// the tool computes with Karp's algorithm.
+//
+// Usage:
+//
+//	mintcpu circuit.tg        analyze a circuit file
+//	mintcpu -                 read the circuit from stdin
+//	mintcpu -cpu 8 -depth 2   analyze the study's CPU model instead
+//
+// Circuit format (line oriented):
+//
+//	# the paper's ALU feedback loop
+//	latch alu
+//	path alu alu 3.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipecache/internal/timing"
+)
+
+func main() {
+	cpuSize := flag.Int("cpu", 0, "analyze the study's CPU model with this cache size (KW) instead of a file")
+	depth := flag.Int("depth", 2, "cache pipeline depth for -cpu")
+	flag.Parse()
+
+	if err := run(*cpuSize, *depth, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mintcpu: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cpuSize, depth int, args []string) error {
+	var g *timing.Graph
+	switch {
+	case cpuSize > 0:
+		m := timing.DefaultModel()
+		var err error
+		g, err = m.CPUGraph(cpuSize, depth)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CPU model: %d KW per side, depth %d, t_L1 = %.2f ns\n",
+			cpuSize, depth, m.CacheAccessNs(cpuSize))
+	case len(args) == 1:
+		var r io.Reader
+		if args[0] == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(args[0])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		g, err = timing.ParseCircuit(r)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: mintcpu <circuit-file|-> or mintcpu -cpu <sizeKW> [-depth d]")
+	}
+
+	period, err := g.MinPeriod()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("latches: %d\n", g.Latches())
+	fmt.Printf("minimum clock period (ideal multiphase clocking): %.3f ns\n", period)
+	fmt.Printf("maximum frequency: %.1f MHz\n", 1000/period)
+	return nil
+}

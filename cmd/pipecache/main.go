@@ -1,0 +1,123 @@
+// Command pipecache reproduces the experiments of "Performance
+// Optimization of Pipelined Primary Caches" (Olukotun, Mudge, Brown; ISCA
+// 1992) on the synthesized benchmark suite.
+//
+// Usage:
+//
+//	pipecache tables   [flags]   reproduce Tables 1-6
+//	pipecache figures  [flags]   reproduce Figures 3-11
+//	pipecache sweep    [flags]   reproduce the Section 5 TPI analysis
+//	                             (Figures 12-13 and the optimal designs)
+//	pipecache simulate [flags]   evaluate one design point
+//	pipecache tracegen [flags]   write a multiprogrammed reference trace
+//	pipecache timing             print the timing model's Table 6 inputs
+//
+// Common flags:
+//
+//	-insts N       instructions per benchmark per pass (default 1000000)
+//	-benchmarks s  comma-separated benchmark subset (default: all 16)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipecache/internal/core"
+	"pipecache/internal/gen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "tables":
+		err = runTables(args)
+	case "figures":
+		err = runFigures(args)
+	case "sweep":
+		err = runSweep(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "tracegen":
+		err = runTracegen(args)
+	case "timing":
+		err = runTiming(args)
+	case "ablations":
+		err = runAblations(args)
+	case "disasm":
+		err = runDisasm(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pipecache: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipecache %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `pipecache - pipelined primary cache study (ISCA 1992 reproduction)
+
+commands:
+  tables     reproduce Tables 1-6
+  figures    reproduce Figures 3-11
+  sweep      TPI design-space analysis (Figures 12-13, optima)
+  simulate   evaluate one design point
+  tracegen   write a multiprogrammed reference trace
+  timing     timing model summary (Table 6, floorplan)
+  ablations  extension studies (associativity, block size, L2,
+             write policy, BTB capacity, profiling, quantum)
+  disasm     disassemble a synthesized benchmark
+
+run "pipecache <command> -h" for flags.
+`)
+}
+
+// commonFlags registers the shared flags on fs and returns getters.
+func commonFlags(fs *flag.FlagSet) (insts *int64, benchmarks *string) {
+	insts = fs.Int64("insts", 1_000_000, "instructions per benchmark per pass")
+	benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+	return
+}
+
+// buildLab parses flags and assembles the lab.
+func buildLab(insts int64, benchmarks string) (*core.Lab, error) {
+	specs := gen.Table1()
+	if benchmarks != "" {
+		var sel []gen.Spec
+		for _, name := range strings.Split(benchmarks, ",") {
+			s, ok := gen.LookupSpec(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", name)
+			}
+			sel = append(sel, s)
+		}
+		specs = sel
+	}
+	fmt.Fprintf(os.Stderr, "building %d benchmarks...\n", len(specs))
+	suite, err := core.BuildSuite(specs)
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+	p.Insts = insts
+	lab, err := core.NewLab(suite, p)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "running simulation passes...")
+	if err := lab.Prewarm(); err != nil {
+		return nil, err
+	}
+	return lab, nil
+}

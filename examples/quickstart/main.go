@@ -1,0 +1,65 @@
+// Quickstart: synthesize one benchmark, simulate one pipelined-cache
+// design point, and print its CPI decomposition and TPI.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipecache/internal/cache"
+	"pipecache/internal/cpisim"
+	"pipecache/internal/gen"
+	"pipecache/internal/timing"
+)
+
+func main() {
+	// 1. Synthesize the "gcc" benchmark from its Table 1 statistics.
+	spec, ok := gen.LookupSpec("gcc")
+	if !ok {
+		log.Fatal("gcc spec missing")
+	}
+	prog, err := gen.Build(spec, 0x1000000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %s: %d instructions, %d blocks, %d procedures\n",
+		prog.Name, prog.NumInsts(), len(prog.Blocks), len(prog.Procs))
+
+	// 2. Simulate a design with 2 branch and 2 load delay slots (a cache
+	// pipelined over two stages) and 8KW split caches.
+	cfg := cpisim.Config{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []cache.Config{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []cache.Config{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	sim, err := cpisim.New(cfg, []cpisim.Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := &res.Benches[0]
+	const penalty = 10
+	fmt.Printf("\ninstructions: %d\n", b.Insts)
+	fmt.Printf("branch stall cycles: %d (%.3f per CTI)\n", b.BranchStall, b.BranchStallPerCTI())
+	fmt.Printf("load stall cycles:   %d (%.3f per load)\n", b.LoadStall, b.LoadStallPerLoad())
+	fmt.Printf("L1-I miss ratio:     %.2f%%\n", 100*b.IMissRatio(0))
+	fmt.Printf("L1-D miss ratio:     %.2f%%\n", 100*b.DMissRatio(0))
+	cpi := b.CPI(0, 0, penalty, penalty)
+	fmt.Printf("CPI (P=%d):          %.3f\n", penalty, cpi)
+
+	// 3. Combine with the timing model: TPI = CPI x tCPU.
+	model := timing.DefaultModel()
+	tcpu, err := model.TCPUSplit(8, 2, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tCPU:                %.2f ns (two pipeline stages per cache side)\n", tcpu)
+	fmt.Printf("TPI:                 %.2f ns\n", cpi*tcpu)
+}

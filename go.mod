@@ -1,0 +1,3 @@
+module pipecache
+
+go 1.22

@@ -1,0 +1,221 @@
+package btb
+
+import "testing"
+
+func mustNew(t *testing.T, cfg Config) *BTB {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Entries: 0, Assoc: 1},
+		{Entries: 3, Assoc: 1},
+		{Entries: 256, Assoc: 0},
+		{Entries: 256, Assoc: 3},
+		{Entries: 4, Assoc: 8},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	// The paper: 256 entries, two 32-bit addresses plus 2 bits ~ 2 KB.
+	got := PaperConfig().StorageBytes()
+	if got < 2048 || got > 2200 {
+		t.Fatalf("StorageBytes = %d, paper says ~2KB", got)
+	}
+}
+
+func TestColdLookupMisses(t *testing.T) {
+	b := mustNew(t, PaperConfig())
+	if p := b.Lookup(100); p.Hit {
+		t.Fatal("cold lookup hit")
+	}
+}
+
+func TestTakenBranchInsertedAndPredicted(t *testing.T) {
+	b := mustNew(t, PaperConfig())
+	if o := b.Resolve(100, true, 500); o != OutcomeMissTaken {
+		t.Fatalf("first resolve = %v", o)
+	}
+	p := b.Lookup(100)
+	if !p.Hit || !p.Taken || p.Target != 500 {
+		t.Fatalf("after insert: %+v", p)
+	}
+	if o := b.Resolve(100, true, 500); o != OutcomeCorrect {
+		t.Fatalf("second resolve = %v", o)
+	}
+}
+
+func TestNotTakenMissNotInserted(t *testing.T) {
+	b := mustNew(t, PaperConfig())
+	if o := b.Resolve(100, false, 0); o != OutcomeMissNotTaken {
+		t.Fatalf("resolve = %v", o)
+	}
+	if p := b.Lookup(100); p.Hit {
+		t.Fatal("not-taken branch was inserted")
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	// A loop branch that is not-taken once (exit) stays predicted taken
+	// on re-entry: the signature 2-bit behaviour.
+	b := mustNew(t, PaperConfig())
+	b.Resolve(100, true, 500) // insert, counter 2->3 path: insert at 2, then trained
+	b.Resolve(100, true, 500) // counter -> 3
+	if o := b.Resolve(100, false, 0); o != OutcomeWrongDirection {
+		t.Fatalf("loop exit = %v", o)
+	}
+	// Counter dropped 3->2: still predicts taken.
+	if o := b.Resolve(100, true, 500); o != OutcomeCorrect {
+		t.Fatalf("re-entry = %v, want correct (2-bit hysteresis)", o)
+	}
+}
+
+func TestOneBitWouldMispredictTwice(t *testing.T) {
+	// Complement of the hysteresis test: two consecutive not-takens flip
+	// the prediction.
+	b := mustNew(t, PaperConfig())
+	b.Resolve(100, true, 500)
+	b.Resolve(100, true, 500)
+	b.Resolve(100, false, 0)
+	b.Resolve(100, false, 0) // counter now 1: predicts not-taken
+	if o := b.Resolve(100, false, 0); o != OutcomeCorrect {
+		t.Fatalf("after training not-taken: %v", o)
+	}
+}
+
+func TestWrongTargetDetected(t *testing.T) {
+	b := mustNew(t, PaperConfig())
+	b.Resolve(100, true, 500)
+	b.Resolve(100, true, 500) // counter 3, target 500
+	if o := b.Resolve(100, true, 700); o != OutcomeWrongTarget {
+		t.Fatalf("changed target = %v", o)
+	}
+	// Target updated.
+	if p := b.Lookup(100); p.Target != 700 {
+		t.Fatalf("target not retrained: %+v", p)
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	b := mustNew(t, Config{Entries: 256, Assoc: 1})
+	b.Resolve(100, true, 1)
+	b.Resolve(100+256, true, 2) // same set, evicts
+	if p := b.Lookup(100); p.Hit {
+		t.Fatal("evicted entry still hits")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestAssociativityReducesConflicts(t *testing.T) {
+	b := mustNew(t, Config{Entries: 256, Assoc: 2})
+	b.Resolve(100, true, 1)
+	b.Resolve(100+128, true, 2) // same set in a 128-set 2-way BTB
+	if !b.Lookup(100).Hit || !b.Lookup(100+128).Hit {
+		t.Fatal("2-way BTB evicted with only two conflicting entries")
+	}
+}
+
+func TestOutcomePenaltyHelpers(t *testing.T) {
+	cases := []struct {
+		o      Outcome
+		hidden bool
+		fill   bool
+	}{
+		{OutcomeCorrect, true, false},
+		{OutcomeWrongDirection, false, true},
+		{OutcomeWrongTarget, false, true},
+		{OutcomeMissTaken, false, true},
+		{OutcomeMissNotTaken, true, false},
+	}
+	for _, c := range cases {
+		if c.o.Hidden() != c.hidden {
+			t.Errorf("%v.Hidden() = %v", c.o, c.o.Hidden())
+		}
+		if c.o.FillStall() != c.fill {
+			t.Errorf("%v.FillStall() = %v", c.o, c.o.FillStall())
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o := OutcomeCorrect; o <= OutcomeMissNotTaken; o++ {
+		if o.String() == "" {
+			t.Errorf("outcome %d has empty string", o)
+		}
+	}
+	if Outcome(99).String() != "outcome(99)" {
+		t.Fatal("unknown outcome string wrong")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	b := mustNew(t, PaperConfig())
+	b.Lookup(1)
+	b.Resolve(1, true, 10) // miss-taken: insert
+	b.Lookup(1)
+	b.Resolve(1, true, 10) // correct hit
+	b.Lookup(1)
+	b.Resolve(1, false, 0) // wrong direction hit
+	st := b.Stats()
+	if st.Lookups != 3 {
+		t.Fatalf("lookups = %d", st.Lookups)
+	}
+	if st.Hits != 2 || st.CorrectDir != 1 || st.WrongDir != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Inserts != 1 {
+		t.Fatalf("inserts = %d", st.Inserts)
+	}
+	if st.HitRatio() <= 0.6 || st.HitRatio() >= 0.7 {
+		t.Fatalf("hit ratio %g, want 2/3", st.HitRatio())
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty hit ratio nonzero")
+	}
+}
+
+func TestSteadyLoopBranchesFullyPredicted(t *testing.T) {
+	// A working set of loop branches that fits in the BTB converges to
+	// near-perfect prediction.
+	b := mustNew(t, PaperConfig())
+	// Distinct sets: a direct-mapped BTB thrashes on set conflicts, so use
+	// spread-out branch addresses as a hot loop working set would be.
+	var pcs []uint32
+	for i := 0; i < 64; i++ {
+		pcs = append(pcs, uint32(i*4+1))
+	}
+	correct := 0
+	total := 0
+	for round := 0; round < 50; round++ {
+		for _, pc := range pcs {
+			o := b.Resolve(pc, true, pc+100)
+			total++
+			if o == OutcomeCorrect {
+				correct++
+			}
+		}
+	}
+	frac := float64(correct) / float64(total)
+	if frac < 0.95 {
+		t.Fatalf("steady loop prediction rate %.3f, want > 0.95", frac)
+	}
+}

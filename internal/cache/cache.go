@@ -1,0 +1,242 @@
+// Package cache implements the set-associative cache models of the
+// trace-driven simulator (the paper's cacheSIM): direct-mapped or
+// set-associative caches with LRU replacement, configurable block size, and
+// write-back or write-through write policies.
+//
+// All addresses and sizes are in 32-bit words, matching the paper's units
+// (cache sizes in K-words, block sizes of 4, 8 and 16 words).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache.
+type Config struct {
+	// SizeKW is the capacity in K-words (1 KW = 1024 words = 4 KB).
+	SizeKW int
+	// BlockWords is the line size in words.
+	BlockWords int
+	// Assoc is the set associativity; 1 means direct-mapped.
+	Assoc int
+	// WriteBack selects write-back with write-allocate when true, or
+	// write-through with no-write-allocate when false.
+	WriteBack bool
+}
+
+// Validate checks that the configuration is realizable: positive
+// power-of-two capacity, block size and associativity, with at least one
+// set.
+func (c Config) Validate() error {
+	if c.SizeKW <= 0 || !isPow2(c.SizeKW) {
+		return fmt.Errorf("cache: size %d KW must be a positive power of two", c.SizeKW)
+	}
+	if c.BlockWords <= 0 || !isPow2(c.BlockWords) {
+		return fmt.Errorf("cache: block size %d words must be a positive power of two", c.BlockWords)
+	}
+	if c.Assoc <= 0 || !isPow2(c.Assoc) {
+		return fmt.Errorf("cache: associativity %d must be a positive power of two", c.Assoc)
+	}
+	words := c.SizeKW * 1024
+	if c.BlockWords*c.Assoc > words {
+		return fmt.Errorf("cache: %d-word blocks x %d ways exceed %d-word capacity", c.BlockWords, c.Assoc, words)
+	}
+	return nil
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// String renders the configuration, e.g. "8KW/4W direct write-back".
+func (c Config) String() string {
+	org := "direct"
+	if c.Assoc > 1 {
+		org = fmt.Sprintf("%d-way", c.Assoc)
+	}
+	pol := "write-through"
+	if c.WriteBack {
+		pol = "write-back"
+	}
+	return fmt.Sprintf("%dKW/%dW %s %s", c.SizeKW, c.BlockWords, org, pol)
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+	Writebacks  uint64 // dirty lines written back on eviction (write-back)
+	Throughs    uint64 // writes forwarded to the next level (write-through)
+}
+
+// Accesses returns the total access count.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses returns the total miss count.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRatio returns misses per access, or 0 with no accesses.
+func (s Stats) MissRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Fill is true when the access allocates a line (and so pays the
+	// refill penalty).
+	Fill bool
+	// Writeback is true when the allocation evicted a dirty line.
+	Writeback bool
+}
+
+// Cache is one level of cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	sets      int
+	blockBits uint
+	setMask   uint32
+
+	// Per-way arrays, indexed [set*assoc + way].
+	tags  []uint32
+	valid []bool
+	dirty []bool
+	// lruTick[i] holds the last-use timestamp for LRU selection.
+	lruTick []uint64
+	tick    uint64
+
+	stats Stats
+}
+
+// New builds a cache from the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	words := cfg.SizeKW * 1024
+	sets := words / (cfg.BlockWords * cfg.Assoc)
+	n := sets * cfg.Assoc
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		blockBits: uint(bits.TrailingZeros32(uint32(cfg.BlockWords))),
+		setMask:   uint32(sets - 1),
+		tags:      make([]uint32, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		lruTick:   make([]uint64, n),
+	}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a copy of the access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the statistics without touching cache contents; use it
+// after warmup.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line (dirty lines are counted as writebacks for a
+// write-back cache) and leaves statistics alone.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			c.stats.Writebacks++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// Access performs one read (write=false) or write (write=true) of the word
+// at addr and returns the outcome.
+func (c *Cache) Access(addr uint32, write bool) Result {
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	tag := block >> uint(bits.TrailingZeros32(uint32(c.sets)))
+
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.tick++
+
+	base := set * c.cfg.Assoc
+	// Hit path.
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lruTick[i] = c.tick
+			if write {
+				if c.cfg.WriteBack {
+					c.dirty[i] = true
+				} else {
+					c.stats.Throughs++
+				}
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss path.
+	if write {
+		c.stats.WriteMisses++
+		if !c.cfg.WriteBack {
+			// No-write-allocate: forward the write, do not fill.
+			c.stats.Throughs++
+			return Result{}
+		}
+	} else {
+		c.stats.ReadMisses++
+	}
+
+	// Allocate: pick the invalid or least-recently-used way.
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lruTick[i] < c.lruTick[victim] {
+			victim = i
+		}
+	}
+	res := Result{Fill: true}
+	if c.valid[victim] && c.dirty[victim] {
+		c.stats.Writebacks++
+		res.Writeback = true
+	}
+	c.valid[victim] = true
+	c.dirty[victim] = write && c.cfg.WriteBack
+	c.tags[victim] = tag
+	c.lruTick[victim] = c.tick
+	return res
+}
+
+// Contains reports whether the word at addr is currently cached (without
+// touching LRU state or statistics).
+func (c *Cache) Contains(addr uint32) bool {
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	tag := block >> uint(bits.TrailingZeros32(uint32(c.sets)))
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}

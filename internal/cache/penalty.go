@@ -1,0 +1,14 @@
+package cache
+
+// RefillPenalty returns the L1 miss penalty in CPU cycles for refilling a
+// block of blockWords at wordsPerCycle from the next level: the paper's
+// model of a 2-cycle startup plus the transfer time (Section 3.1: "miss
+// penalties correspond to refill rates of 4, 2 and 1 word per cycle plus a
+// 2 cycle startup").
+func RefillPenalty(blockWords, wordsPerCycle int) int {
+	if blockWords <= 0 || wordsPerCycle <= 0 {
+		return 0
+	}
+	transfer := (blockWords + wordsPerCycle - 1) / wordsPerCycle
+	return 2 + transfer
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssocStudyConjecture(t *testing.T) {
+	// The paper's conclusion: associativity has a larger performance
+	// benefit for pipelined caches. At depth 0 the cycle-time cost is
+	// full-size; at depth 3 it is hidden by the ALU floor, so the miss
+	// benefit must dominate.
+	l := getLab(t)
+	r, err := l.AssocStudy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Associativity improves miss ratios at every depth.
+	for _, depth := range []int{0, 2, 3} {
+		var dm, fw float64
+		for _, row := range r.Rows {
+			if row.Depth == depth && row.Assoc == 1 {
+				dm = row.MissRatio
+			}
+			if row.Depth == depth && row.Assoc == 4 {
+				fw = row.MissRatio
+			}
+		}
+		if fw > dm {
+			t.Errorf("depth %d: 4-way missed more (%.4f vs %.4f)", depth, fw, dm)
+		}
+	}
+	// The TPI benefit of 4-way over direct must grow with depth.
+	gain := func(depth int) float64 {
+		var d1, d4 float64
+		for _, row := range r.Rows {
+			if row.Depth == depth && row.Assoc == 1 {
+				d1 = row.TPINs
+			}
+			if row.Depth == depth && row.Assoc == 4 {
+				d4 = row.TPINs
+			}
+		}
+		return d1 - d4 // positive = associativity wins
+	}
+	if gain(3) <= gain(0) {
+		t.Errorf("associativity gain at depth 3 (%.3f) not above depth 0 (%.3f): conjecture not reproduced",
+			gain(3), gain(0))
+	}
+	if !strings.Contains(r.String(), "associativity") {
+		t.Error("rendering")
+	}
+	if best := r.Best(3); best.Assoc == 0 {
+		t.Error("Best returned nothing")
+	}
+}
+
+func TestBlockSizeStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.BlockSizeStudy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Penalties follow the refill model.
+	for _, row := range r.Rows {
+		want := 2 + (row.BlockWords+row.WordsPerCycle-1)/row.WordsPerCycle
+		if row.Penalty != want {
+			t.Fatalf("penalty %d for block %d at %d w/c, want %d",
+				row.Penalty, row.BlockWords, row.WordsPerCycle, want)
+		}
+	}
+	// The paper's selection effect: the best block at a slow refill (1
+	// w/c) is never larger than the best at a fast refill (4 w/c).
+	fast := r.Best(4)
+	slow := r.Best(1)
+	if slow.BlockWords > fast.BlockWords {
+		t.Errorf("slow refill prefers larger blocks (%dW) than fast (%dW)",
+			slow.BlockWords, fast.BlockWords)
+	}
+	if !strings.Contains(r.String(), "block size") {
+		t.Error("rendering")
+	}
+}
+
+func TestTwoLevelStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.TwoLevelStudy(4, []int{32, 128, 512}, 6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Bigger L2 never worse.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].CPI > r.Rows[i-1].CPI+1e-9 {
+			t.Errorf("CPI rose with L2 size: %+v", r.Rows)
+		}
+		if r.Rows[i].L2MissRatio > r.Rows[i-1].L2MissRatio+1e-9 {
+			t.Errorf("L2 miss ratio rose with size: %+v", r.Rows)
+		}
+	}
+	// Real L2s cost at least the always-hit abstraction.
+	for _, row := range r.Rows {
+		if row.CPI < r.ConstCPI-1e-9 {
+			t.Errorf("finite L2 beat the always-hit bound: %+v", row)
+		}
+	}
+	if !strings.Contains(r.String(), "unified L2") {
+		t.Error("rendering")
+	}
+}
+
+func TestWritePolicyStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.WritePolicyStudy(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(l.P.SizesKW) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// A write buffer never makes CPI worse than stalling stores.
+		if row.CPIBuffered > row.CPIAllStall+1e-9 {
+			t.Errorf("buffered CPI above all-stall: %+v", row)
+		}
+		if row.DMissRatio <= 0 {
+			t.Errorf("degenerate miss ratio: %+v", row)
+		}
+	}
+	if !strings.Contains(r.String(), "write policy") {
+		t.Error("rendering")
+	}
+}
+
+func TestBTBSizeStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.BTBSizeStudy([]int{64, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Bigger BTBs predict at least as well.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].HitRatio < r.Rows[i-1].HitRatio-0.01 {
+			t.Errorf("hit ratio fell with capacity: %+v", r.Rows)
+		}
+		if r.Rows[i].CyclesPerCTI > r.Rows[i-1].CyclesPerCTI+0.05 {
+			t.Errorf("cycles per CTI rose with capacity: %+v", r.Rows)
+		}
+	}
+	// Storage grows linearly.
+	if r.Rows[2].StorageBytes != 16*r.Rows[0].StorageBytes {
+		t.Errorf("storage accounting: %+v", r.Rows)
+	}
+	if !strings.Contains(r.String(), "BTB capacity") {
+		t.Error("rendering")
+	}
+}
+
+func TestProfileStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.ProfileStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Profiling must not be meaningfully worse than the heuristic.
+		if row.ProfiledCyclesPerCTI > row.HeuristicCyclesPerCTI+0.03 {
+			t.Errorf("profiled prediction worse: %+v", row)
+		}
+		if row.ProfiledCyclesPerCTI < 1 {
+			t.Errorf("impossible cycles per CTI: %+v", row)
+		}
+	}
+	if !strings.Contains(r.String(), "profile-guided") {
+		t.Error("rendering")
+	}
+}
+
+func TestQuantumStudy(t *testing.T) {
+	l := getLab(t)
+	r, err := l.QuantumStudy(4, 10, []int64{2000, 20000, 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Longer quanta mean less interference: CPI must not increase.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].CPI > r.Rows[i-1].CPI+0.02 {
+			t.Errorf("CPI rose with quantum: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.String(), "quantum") {
+		t.Error("rendering")
+	}
+}
+
+func TestStabilityStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	l := getLab(t)
+	r, err := l.StabilityStudy([]uint64{0, 0x1111, 0x2222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The headline conclusion (deep pipelining wins) must hold for every
+	// seed.
+	for _, row := range r.Rows {
+		if row.Best.B < 2 {
+			t.Errorf("seed 0x%x optimum depth %d, conclusions unstable", row.SeedOffset, row.Best.B)
+		}
+	}
+	if !strings.Contains(r.String(), "stability") {
+		t.Error("rendering")
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pipecache/internal/cache"
+	"pipecache/internal/cpisim"
+	"pipecache/internal/timing"
+)
+
+// Params are the shared experiment parameters.
+type Params struct {
+	// Insts is the per-benchmark instruction budget of each simulation
+	// pass. The paper's traces are billions of instructions; the default
+	// here warms the largest caches and gives stable ratios while staying
+	// laptop-fast.
+	Insts int64
+	// Quantum is the multiprogramming context-switch interval.
+	Quantum int64
+	// BlockWords is the cache line size of the main experiments (the
+	// paper presents B = 4 W).
+	BlockWords int
+	// SizesKW are the per-side cache sizes under study (the paper: 1-32
+	// KW).
+	SizesKW []int
+	// Penalties are the fixed-cycle refill penalties of the Section 3
+	// experiments.
+	Penalties []int
+	// Model is the technology timing model.
+	Model timing.Model
+	// L2TimeNs is the constant-time L1 miss service used by the Section 5
+	// TPI analysis; the cycle penalty at cycle time t is
+	// round(L2TimeNs/t), clamped to at least 2.
+	L2TimeNs float64
+	// SeedOffset perturbs every workload's execution seed; the stability
+	// study uses it to check that conclusions do not depend on one
+	// particular random run.
+	SeedOffset uint64
+}
+
+// DefaultParams returns the study's defaults.
+func DefaultParams() Params {
+	return Params{
+		Insts:      1_000_000,
+		Quantum:    20_000,
+		BlockWords: 4,
+		SizesKW:    []int{1, 2, 4, 8, 16, 32},
+		Penalties:  []int{6, 10, 18},
+		Model:      timing.DefaultModel(),
+		// 35 ns service: 10 cycles at the 3.5 ns ALU-limited cycle.
+		L2TimeNs: 35,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Insts <= 0 {
+		return fmt.Errorf("core: non-positive instruction budget")
+	}
+	if p.BlockWords <= 0 {
+		return fmt.Errorf("core: non-positive block size")
+	}
+	if len(p.SizesKW) == 0 {
+		return fmt.Errorf("core: no cache sizes")
+	}
+	if len(p.Penalties) == 0 {
+		return fmt.Errorf("core: no penalties")
+	}
+	if p.L2TimeNs <= 0 {
+		return fmt.Errorf("core: non-positive L2 time")
+	}
+	return p.Model.Validate()
+}
+
+// PenaltyCycles converts the constant-time miss service into cycles at the
+// given cycle time (Section 5: "CPI decreases with increasing tCPU because
+// fewer CPU cycles are required to handle a miss").
+func (p Params) PenaltyCycles(tcpuNs float64) int {
+	return penaltyCyclesFor(p.L2TimeNs, tcpuNs)
+}
+
+func penaltyCyclesFor(l2TimeNs, tcpuNs float64) int {
+	if tcpuNs <= 0 {
+		return 2
+	}
+	c := int(l2TimeNs/tcpuNs + 0.5)
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Lab owns a suite plus memoized simulation passes. One pass per branch
+// slot count covers every cache size and penalty (miss counts are
+// penalty-independent and the cache banks are simulated side by side), so
+// the whole evaluation needs only a handful of passes.
+type Lab struct {
+	Suite *Suite
+	P     Params
+
+	mu     sync.Mutex
+	passes map[passKey]*cpisim.Result
+}
+
+type passKey struct {
+	b      int
+	scheme cpisim.BranchScheme
+}
+
+// NewLab validates the parameters and wraps the suite.
+func NewLab(s *Suite, p Params) (*Lab, error) {
+	if s == nil || len(s.Progs) == 0 {
+		return nil, fmt.Errorf("core: empty suite")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Lab{Suite: s, P: p, passes: map[passKey]*cpisim.Result{}}, nil
+}
+
+// cacheBank builds one cache.Config per size with the default block size.
+func (l *Lab) cacheBank() []cache.Config {
+	bank := make([]cache.Config, len(l.P.SizesKW))
+	for i, s := range l.P.SizesKW {
+		bank[i] = cache.Config{
+			SizeKW:     s,
+			BlockWords: l.P.BlockWords,
+			Assoc:      1, // the paper's L1 is direct-mapped
+			WriteBack:  true,
+		}
+	}
+	return bank
+}
+
+// sizeIndex locates a size in the bank.
+func (l *Lab) sizeIndex(sizeKW int) (int, error) {
+	for i, s := range l.P.SizesKW {
+		if s == sizeKW {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: size %d KW not in the configured bank %v", sizeKW, l.P.SizesKW)
+}
+
+// StaticPass runs (or returns the memoized) simulation of the static
+// delayed-branch architecture with b branch delay slots over the full
+// cache banks. Load stalls are derived from the recorded epsilon
+// distributions afterwards, so the pass itself is load-depth-agnostic.
+func (l *Lab) StaticPass(b int) (*cpisim.Result, error) {
+	return l.pass(passKey{b: b, scheme: cpisim.BranchStatic})
+}
+
+// BTBPass runs (or returns the memoized) simulation of the BTB
+// architecture. The BTB's stall cycles scale linearly with the delay count,
+// so one pass serves every depth (Result.BTBStallPerCTIFor).
+func (l *Lab) BTBPass() (*cpisim.Result, error) {
+	return l.pass(passKey{b: 0, scheme: cpisim.BranchBTB})
+}
+
+func (l *Lab) pass(k passKey) (*cpisim.Result, error) {
+	l.mu.Lock()
+	if r, ok := l.passes[k]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	cfg := cpisim.Config{
+		BranchSlots:  k.b,
+		BranchScheme: k.scheme,
+		LoadSlots:    0,
+		ICaches:      l.cacheBank(),
+		DCaches:      l.cacheBank(),
+		Quantum:      l.P.Quantum,
+	}
+	sim, err := cpisim.New(cfg, l.workloads())
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(l.P.Insts)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.passes[k]; ok {
+		// A concurrent caller got there first; both results are
+		// bit-identical (the simulation is deterministic), keep the
+		// stored one.
+		return r, nil
+	}
+	l.passes[k] = res
+	return res, nil
+}
+
+// Prewarm runs the standard simulation passes (static delayed branches at
+// every depth plus the BTB scheme) concurrently, so the experiments that
+// follow hit the memo. Each pass is an independent simulator over the
+// shared read-only programs; results are deterministic regardless of
+// completion order.
+func (l *Lab) Prewarm() error {
+	keys := []passKey{
+		{b: 0, scheme: cpisim.BranchStatic},
+		{b: 1, scheme: cpisim.BranchStatic},
+		{b: 2, scheme: cpisim.BranchStatic},
+		{b: 3, scheme: cpisim.BranchStatic},
+		{b: 0, scheme: cpisim.BranchBTB},
+	}
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k passKey) {
+			defer wg.Done()
+			_, errs[i] = l.pass(k)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workloads returns the suite's workloads with the lab's seed offset
+// applied.
+func (l *Lab) workloads() []cpisim.Workload {
+	ws := l.Suite.Workloads()
+	for i := range ws {
+		ws[i].Seed ^= l.P.SeedOffset
+	}
+	return ws
+}
+
+// RunPass executes an uncached custom configuration over the suite (used
+// by the block-size and associativity ablations).
+func (l *Lab) RunPass(cfg cpisim.Config) (*cpisim.Result, error) {
+	if cfg.Quantum == 0 {
+		cfg.Quantum = l.P.Quantum
+	}
+	sim, err := cpisim.New(cfg, l.workloads())
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(l.P.Insts)
+}

@@ -1,0 +1,78 @@
+// Package core implements the paper's contribution: the multilevel
+// optimization of pipelined primary caches. It assembles the substrate
+// packages — synthetic benchmarks, interpreter, delay-slot scheduler,
+// caches, BTB, CPI simulator, and timing model — into the experiments of
+// the evaluation: every table and figure, and the TPI = CPI x tCPU
+// design-space optimization of Section 5.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pipecache/internal/cpisim"
+	"pipecache/internal/gen"
+	"pipecache/internal/program"
+)
+
+// addressSpaceStride separates the processes of the multiprogrammed mix in
+// the shared physical address space.
+const addressSpaceStride = 1 << 26
+
+// Suite is the benchmark suite: the synthesized programs of Table 1 with
+// their harmonic-mean weights, placed in disjoint address spaces.
+type Suite struct {
+	Specs   []gen.Spec
+	Progs   []*program.Program
+	Weights []float64
+}
+
+// BuildSuite synthesizes all benchmarks in specs. Building the full
+// 16-benchmark suite performs the generator's dynamic calibration for each
+// program, which takes a few seconds; build once and reuse.
+func BuildSuite(specs []gen.Spec) (*Suite, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: empty suite")
+	}
+	s := &Suite{
+		Specs:   specs,
+		Weights: gen.Weights(specs),
+		Progs:   make([]*program.Program, len(specs)),
+	}
+	// Each benchmark synthesizes independently (generation is pure and
+	// deterministic per spec), so build them in parallel.
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec gen.Spec) {
+			defer wg.Done()
+			p, err := gen.Build(spec, uint32((i+1)*addressSpaceStride))
+			if err != nil {
+				errs[i] = fmt.Errorf("core: building %s: %w", spec.Name, err)
+				return
+			}
+			s.Progs[i] = p
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Workloads adapts the suite for the CPI simulator.
+func (s *Suite) Workloads() []cpisim.Workload {
+	ws := make([]cpisim.Workload, len(s.Progs))
+	for i, p := range s.Progs {
+		ws[i] = cpisim.Workload{
+			Prog:   p,
+			Seed:   s.Specs[i].Seed ^ 0xC0FFEE,
+			Weight: s.Weights[i],
+		}
+	}
+	return ws
+}

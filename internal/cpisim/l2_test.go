@@ -1,0 +1,124 @@
+package cpisim
+
+import (
+	"testing"
+
+	"pipecache/internal/cache"
+)
+
+func l2cfg(sizes ...int) L2Config {
+	var bank []cache.Config
+	for _, s := range sizes {
+		bank = append(bank, cache.Config{SizeKW: s, BlockWords: 8, Assoc: 2, WriteBack: true})
+	}
+	return L2Config{Caches: bank}
+}
+
+func TestL2ConfigValidation(t *testing.T) {
+	base := Config{
+		ICaches: []cache.Config{icfg()},
+		DCaches: []cache.Config{icfg()},
+	}
+	good := base
+	good.L2 = l2cfg(64)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad L2 cache config.
+	bad := base
+	bad.L2 = L2Config{Caches: []cache.Config{{SizeKW: 3, BlockWords: 8, Assoc: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid L2 cache accepted")
+	}
+	// Index out of range.
+	bad2 := base
+	bad2.L2 = l2cfg(64)
+	bad2.L2.IIndex = 5
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range L2 feed accepted")
+	}
+	// Disabled L2 ignores indexes.
+	off := base
+	if err := off.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2CapturesL1Misses(t *testing.T) {
+	p := tinyLoop(t, 0.9)
+	cfg := Config{
+		ICaches: []cache.Config{icfg()},
+		DCaches: []cache.Config{icfg()},
+		L2:      l2cfg(64),
+	}
+	res := run(t, cfg, p, 5000)
+	b := &res.Benches[0]
+	if b.L2 == nil {
+		t.Fatal("no L2 accounting")
+	}
+	l1Misses := b.IMisses[0] + b.DReadMisses[0] + b.DWriteMisses[0]
+	if b.L2.Accesses != l1Misses {
+		t.Fatalf("L2 accesses %d != L1 misses %d", b.L2.Accesses, l1Misses)
+	}
+	// The tiny loop's footprint fits any L2: only cold L2 misses.
+	if b.L2.Misses[0] > b.L2.Accesses {
+		t.Fatal("more L2 misses than accesses")
+	}
+}
+
+func TestL2CPIBetween(t *testing.T) {
+	// Two-level CPI with (l2Hit, mem) lies between the all-hit and
+	// all-miss constant-penalty bounds.
+	p := tinyLoop(t, 0.9)
+	cfg := Config{
+		ICaches: []cache.Config{icfg()},
+		DCaches: []cache.Config{icfg()},
+		L2:      l2cfg(64),
+	}
+	res := run(t, cfg, p, 5000)
+	b := &res.Benches[0]
+	lo := b.CPI(0, 0, 6, 6)   // every miss serviced at the L2 hit time
+	hi := b.CPI(0, 0, 40, 40) // every miss goes to memory
+	two := b.CPITwoLevel(0, res.Config, 6, 34)
+	if two < lo-1e-9 || two > hi+1e-9 {
+		t.Fatalf("two-level CPI %.4f outside [%.4f, %.4f]", two, lo, hi)
+	}
+}
+
+func TestL2BiggerNeverWorse(t *testing.T) {
+	p := tinyLoop(t, 0.9)
+	cfg := Config{
+		ICaches: []cache.Config{icfg()},
+		DCaches: []cache.Config{icfg()},
+		L2:      l2cfg(16, 256),
+	}
+	res := run(t, cfg, p, 5000)
+	small, err := res.CPITwoLevel(0, 6, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := res.CPITwoLevel(1, 6, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big > small+1e-9 {
+		t.Fatalf("bigger L2 worse: %.4f vs %.4f", big, small)
+	}
+	if res.L2MissRatio(1) > res.L2MissRatio(0) {
+		t.Fatal("bigger L2 missed more")
+	}
+}
+
+func TestNoL2NilSafe(t *testing.T) {
+	p := tinyLoop(t, 0.9)
+	res := run(t, Config{ICaches: []cache.Config{icfg()}}, p, 2000)
+	if res.Benches[0].L2 != nil {
+		t.Fatal("L2 accounting without L2 config")
+	}
+	if got := res.Benches[0].CPITwoLevel(0, res.Config, 6, 30); got != 0 {
+		t.Fatalf("CPITwoLevel without L2 = %g", got)
+	}
+	if res.L2MissRatio(0) != 0 {
+		t.Fatal("L2MissRatio without L2")
+	}
+}

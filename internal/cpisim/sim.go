@@ -1,0 +1,330 @@
+package cpisim
+
+import (
+	"fmt"
+
+	"pipecache/internal/btb"
+	"pipecache/internal/cache"
+	"pipecache/internal/interp"
+	"pipecache/internal/program"
+	"pipecache/internal/sched"
+	"pipecache/internal/stats"
+)
+
+// Workload is one process of the multiprogrammed mix.
+type Workload struct {
+	Prog   *program.Program
+	Seed   uint64
+	Weight float64 // weight in the harmonic-mean CPI
+
+	// Profile optionally supplies branch-bias training data; the static
+	// delayed-branch scheme then predicts each conditional branch in its
+	// profiled direction instead of by the backward/forward heuristic.
+	Profile *sched.Profile
+}
+
+// Sim runs a multiprogrammed suite against shared caches (and BTB),
+// context-switching between the processes every Quantum instructions, as
+// the paper's multiprogramming traces do.
+type Sim struct {
+	cfg      Config
+	icaches  []*cache.Cache
+	dcaches  []*cache.Cache
+	l2caches []*cache.Cache
+	btb      *btb.BTB
+	benches  []*benchState
+}
+
+type benchState struct {
+	res  BenchResult
+	it   *interp.Interp
+	xlat *sched.Translation
+	skip int // delay-slot instructions already executed for the next block
+
+	// Deferred BTB resolution: the target address of a taken CTI is the
+	// next block's address, which arrives with the next Block event.
+	btbPending bool
+	btbAddr    uint32
+	btbTaken   bool
+}
+
+// New builds a simulator for the configured architecture over the given
+// workloads. The delay-slot translation is derived here: BranchSlots slots
+// for the static scheme, zero slots (the paper's zero-delay translation)
+// for the BTB scheme.
+func New(cfg Config, ws []Workload) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("cpisim: no workloads")
+	}
+	cfg = cfg.withDefaults()
+	s := &Sim{cfg: cfg}
+
+	for _, cc := range cfg.ICaches {
+		c, err := cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		s.icaches = append(s.icaches, c)
+	}
+	for _, cc := range cfg.DCaches {
+		c, err := cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		s.dcaches = append(s.dcaches, c)
+	}
+	if cfg.BranchScheme == BranchBTB {
+		b, err := btb.New(cfg.BTB)
+		if err != nil {
+			return nil, err
+		}
+		s.btb = b
+	}
+	for _, cc := range cfg.L2.Caches {
+		c, err := cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		s.l2caches = append(s.l2caches, c)
+	}
+
+	slots := cfg.BranchSlots
+	if cfg.BranchScheme == BranchBTB {
+		slots = 0
+	}
+	for _, w := range ws {
+		var xlat *sched.Translation
+		var err error
+		if w.Profile != nil && cfg.BranchScheme == BranchStatic {
+			xlat, err = sched.TranslateProfiled(w.Prog, slots, w.Profile)
+		} else {
+			xlat, err = sched.Translate(w.Prog, slots)
+		}
+		if err != nil {
+			return nil, err
+		}
+		it, err := interp.New(w.Prog, w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bs := &benchState{it: it, xlat: xlat}
+		bs.res.Name = w.Prog.Name
+		bs.res.Weight = w.Weight
+		bs.res.IMisses = make([]int64, len(cfg.ICaches))
+		bs.res.DReadMisses = make([]int64, len(cfg.DCaches))
+		bs.res.DWriteMisses = make([]int64, len(cfg.DCaches))
+		bs.res.Eps = stats.NewHist(epsBins)
+		bs.res.EpsBlock = stats.NewHist(epsBins)
+		if cfg.L2.Enabled() {
+			bs.res.L2 = &L2Result{Misses: make([]int64, len(cfg.L2.Caches))}
+		}
+		s.benches = append(s.benches, bs)
+	}
+	return s, nil
+}
+
+// Run executes instsPerBench useful instructions of every workload,
+// round-robin with the configured quantum, and returns the cycle
+// decompositions.
+func (s *Sim) Run(instsPerBench int64) (*Result, error) {
+	if instsPerBench <= 0 {
+		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
+	}
+	remaining := make([]int64, len(s.benches))
+	for i := range remaining {
+		remaining[i] = instsPerBench
+	}
+	active := len(s.benches)
+	for active > 0 {
+		for i, b := range s.benches {
+			if remaining[i] <= 0 {
+				continue
+			}
+			q := s.cfg.Quantum
+			if q > remaining[i] {
+				q = remaining[i]
+			}
+			h := benchHandler{s: s, b: b}
+			ran := b.it.Run(q, h)
+			remaining[i] -= ran
+			if remaining[i] <= 0 {
+				active--
+			}
+		}
+	}
+	res := &Result{Config: s.cfg}
+	for _, b := range s.benches {
+		res.Benches = append(res.Benches, b.res)
+	}
+	return res, nil
+}
+
+// benchHandler adapts interp events for one workload onto the shared
+// simulator state.
+type benchHandler struct {
+	s *Sim
+	b *benchState
+}
+
+// Block fetches the translated image of the entered block through the
+// I-cache bank, honouring delay-slot skips from a correctly predicted
+// taken CTI.
+func (h benchHandler) Block(blk *program.Block) {
+	b := h.b
+	x := &b.xlat.Blocks[blk.ID]
+
+	if b.btbPending {
+		h.resolveBTB(x.NewAddr)
+	}
+
+	skip := b.skip
+	b.skip = 0
+	if pad := skip - x.NewLen; pad > 0 {
+		// The predicted-taken CTI's delay slots held more replicas than
+		// the target block has instructions; the paper pads with noops,
+		// which execute and are wasted.
+		b.res.BranchStall += int64(pad)
+	}
+	addr, n := b.xlat.Fetches(blk.ID, skip)
+	h.fetchRange(addr, n)
+	b.res.Insts += int64(len(blk.Insts))
+}
+
+func (h benchHandler) fetchRange(addr uint32, n int) {
+	h.b.res.IFetches += int64(n)
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		for ci, c := range h.s.icaches {
+			if r := c.Access(a, false); !r.Hit {
+				h.b.res.IMisses[ci]++
+				if ci == h.s.cfg.L2.IIndex {
+					h.accessL2(a, false)
+				}
+			}
+		}
+	}
+}
+
+// accessL2 sends a designated L1 miss through the unified L2 bank.
+func (h benchHandler) accessL2(addr uint32, write bool) {
+	if h.b.res.L2 == nil {
+		return
+	}
+	h.b.res.L2.Accesses++
+	for ci, c := range h.s.l2caches {
+		if r := c.Access(addr, write); !r.Hit {
+			h.b.res.L2.Misses[ci]++
+		}
+	}
+}
+
+// Mem sends the data reference through the D-cache bank.
+func (h benchHandler) Mem(blk *program.Block, idx int, addr uint32, isStore bool) {
+	b := h.b
+	if isStore {
+		b.res.DWrites++
+	} else {
+		b.res.DReads++
+		b.res.Loads++
+	}
+	for ci, c := range h.s.dcaches {
+		if r := c.Access(addr, isStore); !r.Hit {
+			if isStore {
+				b.res.DWriteMisses[ci]++
+			} else {
+				b.res.DReadMisses[ci]++
+			}
+			if ci == h.s.cfg.L2.DIndex {
+				h.accessL2(addr, isStore)
+			}
+		}
+	}
+}
+
+// CTI applies the branch-handling scheme to the resolved control transfer.
+func (h benchHandler) CTI(blk *program.Block, taken bool) {
+	b := h.b
+	x := &b.xlat.Blocks[blk.ID]
+	b.res.CTIs++
+
+	// Static prediction bookkeeping (Table 3); valid in both schemes
+	// because the prediction flags do not depend on the slot count.
+	if x.PredTaken {
+		b.res.PredTaken++
+		if taken {
+			b.res.PredTakenRight++
+		}
+	} else {
+		b.res.PredNotTaken++
+		if !taken {
+			b.res.PredNotTakenRight++
+		}
+	}
+
+	switch h.s.cfg.BranchScheme {
+	case BranchStatic:
+		b.res.BranchStall += int64(b.xlat.WastedSlots(blk.ID, taken))
+		if !x.PredTaken && taken {
+			// Predicted not-taken but taken: the s sequential delay-slot
+			// instructions were fetched (and squashed) from the
+			// fall-through block before control transferred.
+			if ft := blk.Fallthrough; ft != program.None {
+				fx := &b.xlat.Blocks[ft]
+				n := x.S
+				if n > fx.NewLen {
+					n = fx.NewLen
+				}
+				h.fetchRange(fx.NewAddr, n)
+			}
+		}
+		if x.PredTaken && taken && !x.Indirect {
+			b.skip = x.S
+		}
+	case BranchBTB:
+		// Defer resolution until the target address is known (the next
+		// Block event).
+		b.btbPending = true
+		b.btbAddr = x.CTIAddr
+		b.btbTaken = taken
+	}
+}
+
+func (h benchHandler) resolveBTB(nextAddr uint32) {
+	b := h.b
+	b.btbPending = false
+	target := uint32(0)
+	if b.btbTaken {
+		target = nextAddr
+	}
+	out := h.s.btb.Resolve(b.btbAddr, b.btbTaken, target)
+	b.res.BTBOutcomes[out]++
+	if !out.Hidden() {
+		b.res.BranchStall += int64(h.s.cfg.BranchSlots)
+	}
+	if out.FillStall() {
+		b.res.FillStall++
+	}
+}
+
+// LoadUse applies the load-delay scheme to one consumed load and records
+// the epsilon distributions.
+func (h benchHandler) LoadUse(eps, epsBlock int) {
+	b := h.b
+	b.res.LoadUses++
+	b.res.Eps.Add(eps)
+	b.res.EpsBlock.Add(epsBlock)
+	l := h.s.cfg.LoadSlots
+	if l == 0 {
+		return
+	}
+	hidden := epsBlock
+	if h.s.cfg.LoadScheme == LoadDynamic {
+		hidden = eps
+	}
+	if hidden < l {
+		b.res.LoadStall += int64(l - hidden)
+	}
+}

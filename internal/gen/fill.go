@@ -1,0 +1,391 @@
+package gen
+
+import (
+	"pipecache/internal/isa"
+	"pipecache/internal/program"
+)
+
+// fillOpts controls block-body emission.
+type fillOpts struct {
+	// hasCond requests a condition-setting instruction (slt into $t9)
+	// condGap instructions before the end of the body, so the terminating
+	// conditional branch has a dependency at a controlled distance.
+	hasCond bool
+	condGap int
+	// bumpPointer requests an induction-pointer update (addiu $t8) as the
+	// final body instruction, modelling the array walk of a loop latch.
+	bumpPointer bool
+}
+
+type slotKind uint8
+
+const (
+	slotFlex slotKind = iota
+	slotLoad
+	slotStore
+)
+
+// fill emits n body instructions into the block: loads, stores, ALU ops,
+// pending-use consumers, the occasional syscall, and the requested
+// condition/pointer bookkeeping.
+//
+// Load and store counts are rationed per block with carried fractional
+// credit, so every block — hot inner loop or cold error path — carries the
+// benchmark's target memory mix. A benchmark's executed stream is dominated
+// by a few hot blocks; Bernoulli placement would make the dynamic mix a
+// lottery over which blocks those happen to be.
+func (g *generator) fill(block, n int, opts fillOpts) {
+	if n < 1 {
+		n = 1
+	}
+	// Place the condition at its drawn gap from the block end and the
+	// pointer bump just before it — the natural loop-latch shape
+	// (increment, compare, branch), which leaves the branch undraggable
+	// past its comparison.
+	condAt, bumpAt := -1, -1
+	if opts.hasCond {
+		condAt = n - 1 - opts.condGap
+		if condAt < 0 {
+			condAt = 0
+		}
+	}
+	if opts.bumpPointer {
+		switch {
+		case condAt > 0:
+			bumpAt = condAt - 1
+		case condAt == 0:
+			bumpAt = n - 1 // cond forced to the front; bump at the end
+		default:
+			bumpAt = n - 1
+		}
+		if bumpAt == condAt {
+			bumpAt = -1 // single-slot block: the condition wins
+		}
+	}
+	reserved := 0
+	if bumpAt >= 0 {
+		reserved++
+	}
+	if condAt >= 0 {
+		reserved++
+	}
+	avail := n - reserved
+	if avail < 0 {
+		avail = 0
+	}
+
+	// Exact per-block quotas with carried remainders.
+	g.loadCarry += g.tune.qLoad * float64(n)
+	g.storeCarry += g.tune.qStore * float64(n)
+	wantLoads := int(g.loadCarry)
+	wantStores := int(g.storeCarry)
+	if wantLoads > avail {
+		wantLoads = avail
+	}
+	if wantStores > avail-wantLoads {
+		wantStores = avail - wantLoads
+	}
+	g.loadCarry -= float64(wantLoads)
+	g.storeCarry -= float64(wantStores)
+
+	plan := make([]slotKind, avail)
+	for i := 0; i < wantLoads; i++ {
+		plan[i] = slotLoad
+	}
+	for i := wantLoads; i < wantLoads+wantStores; i++ {
+		plan[i] = slotStore
+	}
+	// Fisher-Yates shuffle for placement.
+	for i := len(plan) - 1; i > 0; i-- {
+		j := g.rng.Intn(i + 1)
+		plan[i], plan[j] = plan[j], plan[i]
+	}
+
+	next := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case i == bumpAt:
+			g.emitALUInst(block, isa.Inst{Op: isa.ADDIU, Rd: isa.T8, Rs: isa.T8, Imm: 4})
+		case i == condAt:
+			g.emitALUInst(block, isa.Inst{Op: isa.SLT, Rd: isa.T9, Rs: g.recentReg(), Rt: g.recentReg()})
+		default:
+			k := slotFlex
+			if next < len(plan) {
+				k = plan[next]
+				next++
+			}
+			switch k {
+			case slotLoad:
+				g.emitLoad(block)
+			case slotStore:
+				g.emitStore(block)
+			default:
+				if !g.emitDuePending(block) {
+					g.emitBody(block)
+				}
+			}
+		}
+	}
+}
+
+// emitBody emits one filler instruction: occasionally a syscall, otherwise
+// computation.
+func (g *generator) emitBody(block int) {
+	if g.spec.SyscallPerM > 0 && g.rng.Bool(g.spec.SyscallPerM/1e6) {
+		g.emitInst(block, program.Inst{Inst: isa.Inst{Op: isa.SYSCALL}})
+		return
+	}
+	g.emitALU(block)
+}
+
+// emitLoad emits a load with a drawn memory behaviour and schedules its
+// consumer at a drawn distance, which shapes the epsilon distributions of
+// Figures 6 and 7.
+func (g *generator) emitLoad(block int) {
+	kind := g.rng.Pick(g.memWeights)
+	var (
+		mem  program.MemBehavior
+		rs   isa.Reg
+		off  int32
+		op   = isa.LW
+		dest isa.Reg
+	)
+	switch kind {
+	case 0: // gp-area global scalar; hot globals cluster at low offsets
+		off = g.gpOffset()
+		mem = program.MemBehavior{Kind: program.MemGP, Offset: off}
+		rs = isa.GP
+	case 1: // stack local scalar; a few hot locals take most references
+		off = g.stackOffset()
+		mem = program.MemBehavior{Kind: program.MemStack, Offset: off}
+		rs = isa.SP
+	case 2: // array walk
+		reg := g.rng.Intn(len(g.regions) - 1)
+		mem = program.MemBehavior{
+			Kind:   program.MemArray,
+			Region: reg,
+			Stride: g.arrayStride(),
+			Offset: int32(g.rng.Intn(64)),
+		}
+		rs = isa.T8
+		off = mem.Offset
+	default: // heap access, sometimes a pointer chase with a fresh base
+		mem = program.MemBehavior{Kind: program.MemHeap, Region: g.heapRegion()}
+		rs = isa.AT
+		if g.rng.Bool(0.4) {
+			// Chase: compute the base right before the load, so the load
+			// has a short address dependency (small c).
+			g.emitALUInst(block, isa.Inst{Op: isa.ADDIU, Rd: isa.AT, Rs: g.recentReg(), Imm: int32(g.rng.Intn(256))})
+		}
+	}
+
+	if g.spec.Kind != Integer && g.rng.Bool(g.fpFrac) && kind >= 2 {
+		op = isa.LWC1
+		dest = g.nextFPReg()
+	} else {
+		dest = g.nextReg()
+	}
+	g.emitInst(block, program.Inst{Inst: isa.Inst{Op: op, Rd: dest, Rs: rs, Imm: off}, Mem: mem})
+	g.pending = append(g.pending, pendingUse{reg: dest, due: g.useDistance()})
+}
+
+// useDistance draws how many instructions later the load's consumer
+// appears. The weights are calibrated so the block-restricted epsilon
+// distribution matches Figure 7 (and through it the static column of
+// Table 5): roughly a fifth of loads cannot be separated from their use.
+func (g *generator) useDistance() int {
+	d := g.rng.Pick([]float64{0.38, 0.24, 0.12, 0.26})
+	if d == 3 {
+		d += g.rng.Intn(6)
+	}
+	return d
+}
+
+// emitStore emits a store of a recently defined register.
+func (g *generator) emitStore(block int) {
+	kind := g.rng.Pick(g.memWeights)
+	var (
+		mem program.MemBehavior
+		rs  isa.Reg
+		off int32
+	)
+	switch kind {
+	case 0:
+		off = g.gpOffset()
+		mem = program.MemBehavior{Kind: program.MemGP, Offset: off}
+		rs = isa.GP
+	case 1:
+		off = g.stackOffset()
+		mem = program.MemBehavior{Kind: program.MemStack, Offset: off}
+		rs = isa.SP
+	case 2:
+		reg := g.rng.Intn(len(g.regions) - 1)
+		mem = program.MemBehavior{
+			Kind:   program.MemArray,
+			Region: reg,
+			Stride: g.arrayStride(),
+			Offset: int32(g.rng.Intn(64)),
+		}
+		rs = isa.T8
+		off = mem.Offset
+	default:
+		mem = program.MemBehavior{Kind: program.MemHeap, Region: g.heapRegion()}
+		rs = isa.AT
+	}
+	op := isa.SW
+	rt, usedPending := g.takePending()
+	if !usedPending {
+		rt = g.recentReg()
+	}
+	if rt.IsFP() {
+		op = isa.SWC1
+	} else if g.spec.Kind != Integer && g.rng.Bool(g.fpFrac) && kind >= 2 {
+		op = isa.SWC1
+		rt = g.recentFPReg()
+	}
+	g.emitInst(block, program.Inst{Inst: isa.Inst{Op: op, Rt: rt, Rs: rs, Imm: off}, Mem: mem})
+}
+
+// emitALU emits a computation on recent values.
+func (g *generator) emitALU(block int) {
+	if g.spec.Kind != Integer && g.rng.Bool(g.fpFrac) {
+		ops := []isa.Op{isa.ADDD, isa.SUBD, isa.MULD, isa.ADDS, isa.MULS}
+		if g.spec.Kind == FloatD {
+			ops = ops[:3]
+		} else {
+			ops = ops[3:]
+		}
+		op := ops[g.rng.Intn(len(ops))]
+		g.emitALUInst(block, isa.Inst{Op: op, Rd: g.nextFPReg(), Rs: g.recentFPReg(), Rt: g.recentFPReg()})
+		return
+	}
+	ops := []isa.Op{isa.ADDU, isa.ADDU, isa.SUBU, isa.AND, isa.OR, isa.XOR, isa.SLT, isa.ADDIU, isa.SLL, isa.SRA}
+	op := ops[g.rng.Intn(len(ops))]
+	in := isa.Inst{Op: op, Rd: g.nextReg()}
+	switch op {
+	case isa.ADDIU:
+		in.Rs = g.recentReg()
+		in.Imm = int32(g.rng.Intn(1024))
+	case isa.SLL, isa.SRA:
+		in.Rt = g.recentReg()
+		in.Imm = int32(g.rng.Intn(31))
+	default:
+		in.Rs = g.recentReg()
+		in.Rt = g.recentReg()
+	}
+	g.emitALUInst(block, in)
+}
+
+// takePending removes and returns a nearly-due pending load destination, so
+// a store can be its consumer (load-then-store copy behaviour, common in
+// the numeric benchmarks). It reports false when nothing suitable is
+// pending.
+func (g *generator) takePending() (isa.Reg, bool) {
+	for i, p := range g.pending {
+		if p.due <= 3 {
+			g.pending = append(g.pending[:i], g.pending[i+1:]...)
+			return p.reg, true
+		}
+	}
+	return 0, false
+}
+
+// emitDuePending emits the consumer of the oldest due pending load, if any.
+func (g *generator) emitDuePending(block int) bool {
+	for i, p := range g.pending {
+		if p.due > 0 {
+			continue
+		}
+		g.pending = append(g.pending[:i], g.pending[i+1:]...)
+		if p.reg.IsFP() {
+			g.emitALUInst(block, isa.Inst{Op: isa.ADDD, Rd: g.nextFPReg(), Rs: p.reg, Rt: g.recentFPReg()})
+		} else {
+			g.emitALUInst(block, isa.Inst{Op: isa.ADDU, Rd: g.nextReg(), Rs: p.reg, Rt: g.recentReg()})
+		}
+		return true
+	}
+	return false
+}
+
+// emitInst appends the instruction, ages pending uses, and records defs.
+func (g *generator) emitInst(block int, in program.Inst) {
+	g.bd.Append(block, in)
+	g.afterEmit(in)
+}
+
+func (g *generator) emitALUInst(block int, in isa.Inst) {
+	g.emitInst(block, program.Inst{Inst: in})
+}
+
+func (g *generator) afterEmit(in program.Inst) {
+	for i := range g.pending {
+		g.pending[i].due--
+	}
+	// Track recent integer defs as future sources.
+	for _, d := range in.Defs() {
+		if d.IsFP() || d == isa.T8 || d == isa.T9 || d == isa.AT {
+			continue
+		}
+		g.recent = append(g.recent, d)
+		if len(g.recent) > 6 {
+			g.recent = g.recent[1:]
+		}
+	}
+}
+
+// nextReg rotates through the destination pool.
+func (g *generator) nextReg() isa.Reg {
+	r := g.pool[g.poolIdx]
+	g.poolIdx = (g.poolIdx + 1) % len(g.pool)
+	return r
+}
+
+// nextFPReg rotates through the FP destination pool.
+func (g *generator) nextFPReg() isa.Reg {
+	r := g.fpool[g.fpIdx]
+	g.fpIdx = (g.fpIdx + 1) % len(g.fpool)
+	return r
+}
+
+// recentReg picks a recently defined integer register.
+func (g *generator) recentReg() isa.Reg {
+	return g.recent[g.rng.Intn(len(g.recent))]
+}
+
+// recentFPReg picks a plausible FP source.
+func (g *generator) recentFPReg() isa.Reg {
+	return g.fpool[g.rng.Intn(len(g.fpool))]
+}
+
+// gpOffset draws a gp-area word offset with the skew of real programs: a
+// few hundred hot globals absorb most references, with a tail across the
+// whole 64 KB area.
+func (g *generator) gpOffset() int32 {
+	if g.rng.Bool(0.75) {
+		off := g.rng.Geometric(1.0 / 256)
+		if off >= gpAreaWords {
+			off = gpAreaWords - 1
+		}
+		return int32(off)
+	}
+	return int32(g.rng.Intn(gpAreaWords))
+}
+
+// stackOffset draws a frame word offset skewed toward the hot locals near
+// the frame base.
+func (g *generator) stackOffset() int32 {
+	off := g.rng.Geometric(1.0 / 8)
+	if off >= frameWords {
+		off = frameWords - 1
+	}
+	return int32(off)
+}
+
+// arrayStride draws the per-access stride of an array walk: mostly
+// unit-stride row sweeps.
+func (g *generator) arrayStride() int32 {
+	if g.rng.Bool(0.75) {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,157 @@
+// Package gen synthesizes the benchmark programs that drive the
+// trace-driven simulation.
+//
+// The paper's experiments used pixie-style traces of 16 real programs
+// (Table 1) that we cannot obtain. Instead, gen builds for each benchmark a
+// deterministic synthetic program whose *dynamic* properties are calibrated
+// to everything the paper reports about its workload: the instruction mix
+// (loads, stores, control transfers), basic-block lengths, loop structure,
+// branch bias (so static backward-taken/forward-not-taken prediction
+// reaches the paper's accuracy), the code footprint that drives
+// instruction-cache behaviour, the data working set that drives data-cache
+// behaviour, and the register dependency distances around loads that
+// determine how many load delay slots static and dynamic scheduling can
+// hide (Figures 6 and 7).
+package gen
+
+// Kind classifies a benchmark the way Table 1 does.
+type Kind uint8
+
+const (
+	// Integer benchmarks, denoted (I) in Table 1.
+	Integer Kind = iota
+	// FloatS is single-precision floating point, denoted (S).
+	FloatS
+	// FloatD is double-precision floating point, denoted (D).
+	FloatD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Integer:
+		return "I"
+	case FloatS:
+		return "S"
+	case FloatD:
+		return "D"
+	}
+	return "?"
+}
+
+// Spec describes one benchmark to synthesize.
+type Spec struct {
+	Name string
+	Desc string
+	Kind Kind
+
+	// DynMInsts is the benchmark's dynamic instruction count in millions
+	// from Table 1. It is used only as the weight of the benchmark in the
+	// weighted harmonic mean CPI (the weights correspond to each
+	// benchmark's fraction of total execution time).
+	DynMInsts float64
+
+	// Target dynamic fractions of the instruction stream (Table 1).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64 // all control transfer instructions
+
+	// SyscallPerM is the approximate number of syscalls per million
+	// instructions (Table 1 lists absolute counts).
+	SyscallPerM float64
+
+	// CodeKW is the static code footprint in K-words (1 instruction = 1
+	// word). This is what the instruction cache sees.
+	CodeKW float64
+
+	// DataKW is the data working set in K-words (arrays + heap).
+	DataKW float64
+
+	// MeanTrip is the mean loop trip count; numeric codes iterate long,
+	// integer codes briefly.
+	MeanTrip int
+
+	// Seed makes each benchmark's program and behaviour deterministic.
+	Seed uint64
+}
+
+// Table1 returns the 16-benchmark suite of the paper. The mixes and
+// instruction counts are Table 1's values; code footprints and working sets
+// are chosen to be characteristic of each program (the paper does not list
+// them) and span the 1–32 KW cache sizes of the study.
+func Table1() []Spec {
+	return []Spec{
+		{Name: "sdiff", Desc: "File comparison", Kind: Integer, DynMInsts: 218.3,
+			LoadFrac: 0.153, StoreFrac: 0.034, BranchFrac: 0.207, SyscallPerM: 1.4,
+			CodeKW: 6, DataKW: 24, MeanTrip: 8, Seed: 0xA001},
+		{Name: "awk", Desc: "String matching and processing", Kind: Integer, DynMInsts: 209.5,
+			LoadFrac: 0.190, StoreFrac: 0.126, BranchFrac: 0.143, SyscallPerM: 0.5,
+			CodeKW: 14, DataKW: 32, MeanTrip: 10, Seed: 0xA002},
+		{Name: "doduc", Desc: "Monte Carlo simulation", Kind: FloatD, DynMInsts: 96.3,
+			LoadFrac: 0.310, StoreFrac: 0.100, BranchFrac: 0.087, SyscallPerM: 4.4,
+			CodeKW: 28, DataKW: 48, MeanTrip: 40, Seed: 0xA003},
+		{Name: "espresso", Desc: "Logic minimization", Kind: Integer, DynMInsts: 238.0,
+			LoadFrac: 0.199, StoreFrac: 0.056, BranchFrac: 0.162, SyscallPerM: 0.1,
+			CodeKW: 22, DataKW: 40, MeanTrip: 12, Seed: 0xA004},
+		{Name: "gcc", Desc: "C compiler", Kind: Integer, DynMInsts: 235.7,
+			LoadFrac: 0.233, StoreFrac: 0.138, BranchFrac: 0.201, SyscallPerM: 2.1,
+			CodeKW: 96, DataKW: 64, MeanTrip: 6, Seed: 0xA005},
+		{Name: "integral", Desc: "Numerical integration", Kind: FloatD, DynMInsts: 110.5,
+			LoadFrac: 0.370, StoreFrac: 0.104, BranchFrac: 0.076, SyscallPerM: 0.1,
+			CodeKW: 4, DataKW: 12, MeanTrip: 80, Seed: 0xA006},
+		{Name: "linpack", Desc: "Linear equation solver", Kind: FloatD, DynMInsts: 4.0,
+			LoadFrac: 0.374, StoreFrac: 0.197, BranchFrac: 0.054, SyscallPerM: 2.5,
+			CodeKW: 3, DataKW: 32, MeanTrip: 100, Seed: 0xA007},
+		{Name: "loops", Desc: "First 12 Livermore kernels", Kind: FloatD, DynMInsts: 275.5,
+			LoadFrac: 0.293, StoreFrac: 0.109, BranchFrac: 0.053, SyscallPerM: 0.01,
+			CodeKW: 6, DataKW: 48, MeanTrip: 120, Seed: 0xA008},
+		{Name: "matrix500", Desc: "500 x 500 matrix operations", Kind: FloatS, DynMInsts: 202.2,
+			LoadFrac: 0.243, StoreFrac: 0.035, BranchFrac: 0.035, SyscallPerM: 0.05,
+			CodeKW: 3, DataKW: 512, MeanTrip: 400, Seed: 0xA009},
+		{Name: "nroff", Desc: "Text formatting", Kind: Integer, DynMInsts: 157.1,
+			LoadFrac: 0.224, StoreFrac: 0.108, BranchFrac: 0.246, SyscallPerM: 10.8,
+			CodeKW: 18, DataKW: 24, MeanTrip: 6, Seed: 0xA00A},
+		{Name: "small", Desc: "Stanford small benchmarks", Kind: Integer, DynMInsts: 16.7,
+			LoadFrac: 0.199, StoreFrac: 0.088, BranchFrac: 0.196, SyscallPerM: 0,
+			CodeKW: 8, DataKW: 16, MeanTrip: 10, Seed: 0xA00B},
+		{Name: "spice2g6", Desc: "Circuit simulator", Kind: FloatS, DynMInsts: 297.3,
+			LoadFrac: 0.298, StoreFrac: 0.086, BranchFrac: 0.080, SyscallPerM: 1.3,
+			CodeKW: 48, DataKW: 96, MeanTrip: 30, Seed: 0xA00C},
+		{Name: "tex", Desc: "Typesetting", Kind: Integer, DynMInsts: 133.8,
+			LoadFrac: 0.302, StoreFrac: 0.142, BranchFrac: 0.117, SyscallPerM: 5.2,
+			CodeKW: 56, DataKW: 48, MeanTrip: 8, Seed: 0xA00D},
+		{Name: "wolf33", Desc: "Simulated annealing placement", Kind: Integer, DynMInsts: 115.4,
+			LoadFrac: 0.300, StoreFrac: 0.075, BranchFrac: 0.148, SyscallPerM: 3.5,
+			CodeKW: 16, DataKW: 56, MeanTrip: 14, Seed: 0xA00E},
+		{Name: "xwim", Desc: "X-windows application", Kind: Integer, DynMInsts: 52.2,
+			LoadFrac: 0.225, StoreFrac: 0.177, BranchFrac: 0.171, SyscallPerM: 1250,
+			CodeKW: 36, DataKW: 32, MeanTrip: 7, Seed: 0xA00F},
+		{Name: "yacc", Desc: "Parser generator", Kind: Integer, DynMInsts: 193.9,
+			LoadFrac: 0.196, StoreFrac: 0.024, BranchFrac: 0.252, SyscallPerM: 0.25,
+			CodeKW: 10, DataKW: 20, MeanTrip: 9, Seed: 0xA010},
+	}
+}
+
+// LookupSpec returns the Table 1 spec with the given name.
+func LookupSpec(name string) (Spec, bool) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Weights returns, aligned with specs, each benchmark's fraction of the
+// total dynamic instruction count; these are the weights of the harmonic
+// mean CPI.
+func Weights(specs []Spec) []float64 {
+	var total float64
+	for _, s := range specs {
+		total += s.DynMInsts
+	}
+	w := make([]float64, len(specs))
+	for i, s := range specs {
+		w[i] = s.DynMInsts / total
+	}
+	return w
+}

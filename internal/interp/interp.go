@@ -1,0 +1,273 @@
+// Package interp executes synthesized programs and produces the dynamic
+// event stream that drives the trace-driven cache and pipeline simulation.
+//
+// The interpreter walks the control-flow graph, resolves branch outcomes
+// from each block's behavioural model, generates concrete data addresses
+// from the program's data layout, and measures the dynamic register
+// dependency distances around loads (the c and d of Section 3.2) both
+// unrestricted (Figure 6) and truncated at basic-block boundaries
+// (Figure 7).
+//
+// Instruction fetch is reported at block granularity; consumers that model
+// rescheduled code (delay slots, squashing) translate block entries into
+// fetch address streams using the translation tables from the sched
+// package, exactly as the paper's translation files were applied to its
+// traces.
+package interp
+
+import (
+	"fmt"
+
+	"pipecache/internal/isa"
+	"pipecache/internal/program"
+	"pipecache/internal/stats"
+)
+
+// EpsCap is the ceiling applied to reported dependency distances; distances
+// at least EpsCap behave identically for every pipeline depth under study
+// (the paper's histograms top out at ">= 3").
+const EpsCap = 64
+
+// Handler receives the dynamic event stream. Methods are called in program
+// order. Implementations must not retain the *program.Block pointers past
+// the call.
+type Handler interface {
+	// Block reports that the instructions of b are about to execute.
+	Block(b *program.Block)
+	// Mem reports one data reference (the instruction is b.Insts[idx]).
+	Mem(b *program.Block, idx int, addr uint32, isStore bool)
+	// CTI reports the outcome of b's terminating control transfer.
+	// For unconditional transfers taken is true.
+	CTI(b *program.Block, taken bool)
+	// LoadUse reports the resolved dependency distances of one executed
+	// load at the moment of its first use: eps is the unrestricted
+	// epsilon = c + d (Figure 6), epsBlock is the same truncated at basic
+	// block boundaries (Figure 7). Loads whose values are never consumed
+	// are not reported.
+	LoadUse(eps, epsBlock int)
+}
+
+// Interp executes one program.
+type Interp struct {
+	prog *program.Program
+	rng  *stats.RNG
+
+	cur     int   // current block ID
+	icount  int64 // executed instructions
+	curProc int
+	stack   []frame
+	cursors []uint32 // per-region array walk positions
+
+	lastDef   [isa.NumRegs]int64
+	pending   [isa.NumRegs]loadRec
+	heapDrift uint32
+}
+
+type frame struct {
+	returnBlock int
+	proc        int
+}
+
+type loadRec struct {
+	active bool
+	at     int64
+	c      int // dynamic distance to the address register's definition
+	maxC   int // block-restricted ceiling on c
+	maxD   int // block-restricted ceiling on d
+}
+
+// New returns an interpreter for the program. The seed fixes branch
+// outcomes and heap addresses; the same (program, seed) pair always
+// produces the same stream.
+func New(p *program.Program, seed uint64) (*Interp, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	if err := p.Data.Validate(p); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	it := &Interp{
+		prog:    p,
+		rng:     stats.NewRNG(seed),
+		curProc: p.Entry,
+		cur:     p.Procs[p.Entry].Entry,
+		cursors: make([]uint32, len(p.Data.Regions)),
+	}
+	for i := range it.lastDef {
+		it.lastDef[i] = -(1 << 40)
+	}
+	return it, nil
+}
+
+// Executed returns the number of instructions executed so far.
+func (it *Interp) Executed() int64 { return it.icount }
+
+// Run executes at least n further instructions (stopping at the first block
+// boundary at or past the target) and reports events to h. It returns the
+// number of instructions executed by this call.
+func (it *Interp) Run(n int64, h Handler) int64 {
+	start := it.icount
+	target := start + n
+	for it.icount < target {
+		it.step(h)
+	}
+	return it.icount - start
+}
+
+// step executes the current block and advances to its successor.
+func (it *Interp) step(h Handler) {
+	b := it.prog.Block(it.cur)
+	h.Block(b)
+	blockLen := len(b.Insts)
+	for idx := range b.Insts {
+		it.execInst(b, idx, blockLen, h)
+	}
+	it.advance(b, h)
+}
+
+func (it *Interp) execInst(b *program.Block, idx, blockLen int, h Handler) {
+	in := &b.Insts[idx]
+	it.icount++
+	now := it.icount
+
+	// Resolve pending loads on first use of their destinations.
+	for _, u := range in.Uses() {
+		rec := &it.pending[u]
+		if !rec.active {
+			continue
+		}
+		rec.active = false
+		d := int(now - rec.at - 1)
+		if d > EpsCap {
+			d = EpsCap
+		}
+		eps := capEps(rec.c + d)
+		dBlk := d
+		if dBlk > rec.maxD {
+			dBlk = rec.maxD
+		}
+		cBlk := rec.c
+		if cBlk > rec.maxC {
+			cBlk = rec.maxC
+		}
+		h.LoadUse(eps, capEps(cBlk+dBlk))
+	}
+
+	if in.Op.IsMem() {
+		addr := it.dataAddr(in)
+		h.Mem(b, idx, addr, in.Op.IsStore())
+		if in.Op.IsLoad() && in.Rd != isa.Zero {
+			aReg, _ := in.AddrReg()
+			c := int(now - it.lastDef[aReg] - 1)
+			if c > EpsCap {
+				c = EpsCap
+			}
+			it.pending[in.Rd] = loadRec{
+				active: true,
+				at:     now,
+				c:      c,
+				maxC:   idx,
+				maxD:   blockLen - idx - 1,
+			}
+		}
+	}
+
+	// Record definitions; a redefinition kills an unconsumed load (dead
+	// value, no interlock stall would occur).
+	for _, d := range in.Defs() {
+		it.lastDef[d] = now
+		if in.Op.IsLoad() && d == in.Rd {
+			continue // the pending record set above must survive
+		}
+		it.pending[d].active = false
+	}
+}
+
+func capEps(e int) int {
+	if e > EpsCap {
+		return EpsCap
+	}
+	return e
+}
+
+// dataAddr turns a memory instruction's behaviour into a word address.
+func (it *Interp) dataAddr(in *program.Inst) uint32 {
+	d := &it.prog.Data
+	switch in.Mem.Kind {
+	case program.MemGP:
+		return d.GPBase + uint32(in.Mem.Offset)%d.GPSize
+	case program.MemStack:
+		fid := uint32(it.prog.Procs[it.curProc].FrameID)
+		return d.StackBase + fid*d.FrameSize + uint32(in.Mem.Offset)%d.FrameSize
+	case program.MemArray:
+		r := &d.Regions[in.Mem.Region]
+		it.cursors[in.Mem.Region] += uint32(in.Mem.Stride)
+		return r.Base + (it.cursors[in.Mem.Region]+uint32(in.Mem.Offset))%r.Size
+	case program.MemHeap:
+		// Heap references cluster: most hit a hot window that drifts
+		// slowly through the region (allocation locality), the rest
+		// scatter (pointer chasing).
+		r := &d.Regions[in.Mem.Region]
+		if it.rng.Bool(0.9) {
+			window := r.Size / 16
+			if window < 64 {
+				window = r.Size
+			}
+			it.heapDrift++
+			base := (it.heapDrift / 4096 * (window / 2)) % r.Size
+			return r.Base + (base+uint32(it.rng.Intn(int(window))))%r.Size
+		}
+		return r.Base + uint32(it.rng.Intn(int(r.Size)))
+	default:
+		// Validation prevents this.
+		panic(fmt.Sprintf("interp: memory op %q without behaviour", in.Inst))
+	}
+}
+
+// advance follows the block's outgoing edge.
+func (it *Interp) advance(b *program.Block, h Handler) {
+	term, ok := b.Terminator()
+	if !ok {
+		it.cur = b.Fallthrough
+		return
+	}
+	switch term.Op.Class() {
+	case isa.ClassBranch:
+		taken := it.rng.Bool(b.TakenProb)
+		h.CTI(b, taken)
+		if taken {
+			it.cur = b.Taken
+		} else {
+			it.cur = b.Fallthrough
+		}
+	case isa.ClassJump:
+		h.CTI(b, true)
+		if term.Op == isa.JAL {
+			it.stack = append(it.stack, frame{returnBlock: b.Fallthrough, proc: it.curProc})
+			it.curProc = b.CallProc
+			it.cur = it.prog.Procs[b.CallProc].Entry
+		} else {
+			it.cur = b.Taken
+		}
+	case isa.ClassJumpReg:
+		h.CTI(b, true)
+		if b.IsReturn {
+			if len(it.stack) == 0 {
+				// Returning from the entry procedure: restart it. The
+				// generator's driver never returns, but hand-built
+				// programs may.
+				it.curProc = it.prog.Entry
+				it.cur = it.prog.Procs[it.curProc].Entry
+				return
+			}
+			f := it.stack[len(it.stack)-1]
+			it.stack = it.stack[:len(it.stack)-1]
+			it.curProc = f.proc
+			it.cur = f.returnBlock
+		} else {
+			it.cur = b.Taken
+		}
+	default:
+		it.cur = b.Fallthrough
+	}
+}

@@ -1,0 +1,304 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInst assembles one instruction from its disassembly syntax — the
+// inverse of Inst.String. It accepts the forms the disassembler emits:
+//
+//	nop
+//	lw $t0, 4($sp)
+//	sw $t0, -8($gp)
+//	addu $v0, $a0, $a1
+//	addiu $v0, $a0, 1
+//	sll $t0, $t1, 2
+//	lui $t0, 100
+//	beq $a0, $a1, 0x40
+//	blez $a0, 0x40
+//	j 0x100
+//	jal 0x100
+//	jr $ra
+//	jalr $ra, $t9
+//	mfhi $v0
+//	syscall
+func ParseInst(s string) (Inst, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	if s == "" {
+		return Inst{}, fmt.Errorf("isa: empty instruction")
+	}
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return Inst{}, fmt.Errorf("isa: unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+
+	switch op.Class() {
+	case ClassNop:
+		return Nop(), nil
+	case ClassSyscall:
+		return Inst{Op: SYSCALL}, nil
+	case ClassLoad, ClassStore:
+		if len(args) != 2 {
+			return Inst{}, fmt.Errorf("isa: %s wants 2 operands", mnemonic)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		in := Inst{Op: op, Rs: base, Imm: off}
+		if op.IsStore() {
+			in.Rt = r
+		} else {
+			in.Rd = r
+		}
+		return in, nil
+	case ClassBranch:
+		switch op {
+		case BEQ, BNE:
+			if len(args) != 3 {
+				return Inst{}, fmt.Errorf("isa: %s wants 3 operands", mnemonic)
+			}
+			rs, err := parseReg(args[0])
+			if err != nil {
+				return Inst{}, err
+			}
+			rt, err := parseReg(args[1])
+			if err != nil {
+				return Inst{}, err
+			}
+			tgt, err := parseUint(args[2])
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: op, Rs: rs, Rt: rt, Target: tgt}, nil
+		default:
+			if len(args) != 2 {
+				return Inst{}, fmt.Errorf("isa: %s wants 2 operands", mnemonic)
+			}
+			rs, err := parseReg(args[0])
+			if err != nil {
+				return Inst{}, err
+			}
+			tgt, err := parseUint(args[1])
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: op, Rs: rs, Target: tgt}, nil
+		}
+	case ClassJump:
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("isa: %s wants a target", mnemonic)
+		}
+		tgt, err := parseUint(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Target: tgt}, nil
+	case ClassJumpReg:
+		if op == JALR {
+			if len(args) != 2 {
+				return Inst{}, fmt.Errorf("isa: jalr wants 2 registers")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return Inst{}, err
+			}
+			rs, err := parseReg(args[1])
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: JALR, Rd: rd, Rs: rs}, nil
+		}
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("isa: jr wants a register")
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JR, Rs: rs}, nil
+	}
+
+	// ALU forms.
+	switch op {
+	case LUI:
+		if len(args) != 2 {
+			return Inst{}, fmt.Errorf("isa: lui wants 2 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := parseInt(args[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: LUI, Rd: rd, Imm: imm}, nil
+	case ADDIU, ANDI, ORI, XORI, SLTI, SLTIU:
+		if len(args) != 3 {
+			return Inst{}, fmt.Errorf("isa: %s wants 3 operands", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := parseInt(args[2])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rd: rd, Rs: rs, Imm: imm}, nil
+	case SLL, SRL, SRA:
+		if len(args) != 3 {
+			return Inst{}, fmt.Errorf("isa: %s wants 3 operands", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		rt, err := parseReg(args[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := parseInt(args[2])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rd: rd, Rt: rt, Imm: imm}, nil
+	case MFHI, MFLO:
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("isa: %s wants a register", mnemonic)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rd: rd}, nil
+	case MTHI, MTLO:
+		if len(args) != 1 {
+			return Inst{}, fmt.Errorf("isa: %s wants a register", mnemonic)
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rs: rs}, nil
+	case MULT, MULTU, DIV, DIVU:
+		if len(args) != 2 {
+			return Inst{}, fmt.Errorf("isa: %s wants 2 registers", mnemonic)
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		rt, err := parseReg(args[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rs: rs, Rt: rt}, nil
+	}
+
+	// Three-register ALU (integer and FP).
+	if len(args) != 3 {
+		return Inst{}, fmt.Errorf("isa: %s wants 3 registers", mnemonic)
+	}
+	rd, err := parseReg(args[0])
+	if err != nil {
+		return Inst{}, err
+	}
+	rs, err := parseReg(args[1])
+	if err != nil {
+		return Inst{}, err
+	}
+	rt, err := parseReg(args[2])
+	if err != nil {
+		return Inst{}, err
+	}
+	return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, NumOps())
+	for o := Op(0); int(o) < NumOps(); o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	o, ok := nameToOp[name]
+	return o, ok
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, NumRegs)
+	for r := Reg(0); r < NumRegs; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+func parseReg(s string) (Reg, error) {
+	if r, ok := regByName[s]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("isa: unknown register %q", s)
+}
+
+// parseMem parses "off($base)".
+func parseMem(s string) (int32, Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("isa: bad memory operand %q", s)
+	}
+	off, err := parseInt(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func parseInt(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("isa: bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+func parseUint(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("isa: bad target %q", s)
+	}
+	return uint32(v), nil
+}

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipecache/internal/stats"
+)
+
+func TestParseInstExamples(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Inst
+	}{
+		{"nop", Nop()},
+		{"syscall", Inst{Op: SYSCALL}},
+		{"lw $t0, 4($sp)", Inst{Op: LW, Rd: T0, Rs: SP, Imm: 4}},
+		{"sw $t0, -8($gp)", Inst{Op: SW, Rt: T0, Rs: GP, Imm: -8}},
+		{"lwc1 $f4, 8($sp)", Inst{Op: LWC1, Rd: F(4), Rs: SP, Imm: 8}},
+		{"addu $v0, $a0, $a1", Inst{Op: ADDU, Rd: V0, Rs: A0, Rt: A1}},
+		{"addiu $v0, $a0, 1", Inst{Op: ADDIU, Rd: V0, Rs: A0, Imm: 1}},
+		{"sll $t0, $t1, 2", Inst{Op: SLL, Rd: T0, Rt: T1, Imm: 2}},
+		{"lui $t0, 100", Inst{Op: LUI, Rd: T0, Imm: 100}},
+		{"beq $a0, $a1, 0x40", Inst{Op: BEQ, Rs: A0, Rt: A1, Target: 0x40}},
+		{"blez $a0, 0x40", Inst{Op: BLEZ, Rs: A0, Target: 0x40}},
+		{"j 0x100", Inst{Op: J, Target: 0x100}},
+		{"jal 0x100", Inst{Op: JAL, Target: 0x100}},
+		{"jr $ra", Inst{Op: JR, Rs: RA}},
+		{"jalr $ra, $t9", Inst{Op: JALR, Rd: RA, Rs: T9}},
+		{"mfhi $v0", Inst{Op: MFHI, Rd: V0}},
+		{"mtlo $v0", Inst{Op: MTLO, Rs: V0}},
+		{"mult $a0, $a1", Inst{Op: MULT, Rs: A0, Rt: A1}},
+		{"add.d $f0, $f2, $f4", Inst{Op: ADDD, Rd: F(0), Rs: F(2), Rt: F(4)}},
+		{"  lw $t0, 4($sp)   # trailing comment", Inst{Op: LW, Rd: T0, Rs: SP, Imm: 4}},
+	}
+	for _, c := range cases {
+		got, err := ParseInst(c.src)
+		if err != nil {
+			t.Errorf("ParseInst(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseInst(%q) = %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseInstErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus $t0",
+		"lw $t0",
+		"lw $t0, 4",
+		"lw $t0, 4($nope)",
+		"lw $t0, x($sp)",
+		"addu $v0, $a0",
+		"beq $a0, $a1",
+		"beq $a0, $a1, zz",
+		"j",
+		"jr",
+		"addiu $v0, $a0, banana",
+		"lui $t0",
+	}
+	for _, src := range bad {
+		if _, err := ParseInst(src); err == nil {
+			t.Errorf("ParseInst(%q) accepted", src)
+		}
+	}
+}
+
+func TestAsmDisasmRoundTripProperty(t *testing.T) {
+	// For random encodable instructions: String -> ParseInst reproduces
+	// the instruction.
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		in := Inst{
+			Op:  Op(r.Intn(NumOps())),
+			Rd:  Reg(r.Intn(32)),
+			Rs:  Reg(r.Intn(32)),
+			Rt:  Reg(r.Intn(32)),
+			Imm: int32(r.Intn(1<<12) - 1<<11),
+		}
+		switch in.Op {
+		case SLL, SRL, SRA:
+			in.Imm = int32(r.Intn(32))
+		case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL:
+			in.Target = uint32(r.Intn(1 << 20))
+			in.Imm = 0
+		}
+		if _, ok := fpFunct[in.Op]; ok {
+			in.Rd, in.Rs, in.Rt = F(r.Intn(32)), F(r.Intn(32)), F(r.Intn(32))
+		}
+		if in.Op == LWC1 {
+			in.Rd = F(r.Intn(32))
+		}
+		if in.Op == SWC1 {
+			in.Rt = F(r.Intn(32))
+		}
+		// Canonicalize fields the textual form does not carry.
+		canon := func(x Inst) Inst {
+			switch x.Op.Class() {
+			case ClassNop, ClassSyscall:
+				return Inst{Op: x.Op}
+			case ClassLoad:
+				return Inst{Op: x.Op, Rd: x.Rd, Rs: x.Rs, Imm: x.Imm}
+			case ClassStore:
+				return Inst{Op: x.Op, Rt: x.Rt, Rs: x.Rs, Imm: x.Imm}
+			case ClassBranch:
+				if x.Op == BEQ || x.Op == BNE {
+					return Inst{Op: x.Op, Rs: x.Rs, Rt: x.Rt, Target: x.Target}
+				}
+				return Inst{Op: x.Op, Rs: x.Rs, Target: x.Target}
+			case ClassJump:
+				return Inst{Op: x.Op, Target: x.Target}
+			case ClassJumpReg:
+				if x.Op == JALR {
+					return Inst{Op: x.Op, Rd: x.Rd, Rs: x.Rs}
+				}
+				return Inst{Op: x.Op, Rs: x.Rs}
+			}
+			switch x.Op {
+			case LUI:
+				return Inst{Op: x.Op, Rd: x.Rd, Imm: x.Imm}
+			case SLL, SRL, SRA:
+				return Inst{Op: x.Op, Rd: x.Rd, Rt: x.Rt, Imm: x.Imm}
+			case MFHI, MFLO:
+				return Inst{Op: x.Op, Rd: x.Rd}
+			case MTHI, MTLO:
+				return Inst{Op: x.Op, Rs: x.Rs}
+			case MULT, MULTU, DIV, DIVU:
+				return Inst{Op: x.Op, Rs: x.Rs, Rt: x.Rt}
+			case ADDIU, ANDI, ORI, XORI, SLTI, SLTIU:
+				return Inst{Op: x.Op, Rd: x.Rd, Rs: x.Rs, Imm: x.Imm}
+			default:
+				return Inst{Op: x.Op, Rd: x.Rd, Rs: x.Rs, Rt: x.Rt}
+			}
+		}
+		want := canon(in)
+		got, err := ParseInst(want.String())
+		if err != nil {
+			t.Logf("parse %q: %v", want.String(), err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+package isa
+
+import "fmt"
+
+// Binary encoding follows the MIPS-I formats:
+//
+//	R-type: opcode(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type: opcode(6) rs(5) rt(5) immediate(16)
+//	J-type: opcode(6) target(26)
+//
+// Branch offsets and jump targets are stored in Inst as absolute word
+// addresses, so encoding and decoding need the address of the instruction
+// itself. Branch displacements are relative to the next instruction, as in
+// real MIPS.
+
+const (
+	opcSpecial = 0x00
+	opcRegimm  = 0x01
+	opcJ       = 0x02
+	opcJAL     = 0x03
+	opcBEQ     = 0x04
+	opcBNE     = 0x05
+	opcBLEZ    = 0x06
+	opcBGTZ    = 0x07
+	opcADDIU   = 0x09
+	opcSLTI    = 0x0a
+	opcSLTIU   = 0x0b
+	opcANDI    = 0x0c
+	opcORI     = 0x0d
+	opcXORI    = 0x0e
+	opcLUI     = 0x0f
+	opcCOP1    = 0x11
+	opcLB      = 0x20
+	opcLH      = 0x21
+	opcLW      = 0x23
+	opcLBU     = 0x24
+	opcLHU     = 0x25
+	opcSB      = 0x28
+	opcSH      = 0x29
+	opcSW      = 0x2b
+	opcLWC1    = 0x31
+	opcSWC1    = 0x39
+)
+
+// SPECIAL funct codes.
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0c
+	fnMFHI    = 0x10
+	fnMTHI    = 0x11
+	fnMFLO    = 0x12
+	fnMTLO    = 0x13
+	fnMULT    = 0x18
+	fnMULTU   = 0x19
+	fnDIV     = 0x1a
+	fnDIVU    = 0x1b
+	fnADDU    = 0x21
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2a
+	fnSLTU    = 0x2b
+)
+
+// REGIMM rt codes.
+const (
+	rtBLTZ = 0x00
+	rtBGEZ = 0x01
+)
+
+// COP1 encodes FP arithmetic as fmt(5)=rs ft(5) fs(5) fd(5) funct(6).
+const (
+	fmtS = 0x10
+	fmtD = 0x11
+	fmtW = 0x14
+)
+const (
+	fnFADD = 0x00
+	fnFSUB = 0x01
+	fnFMUL = 0x02
+	fnFDIV = 0x03
+	fnFMOV = 0x06
+	fnCVTD = 0x21
+	fnCVTW = 0x24
+)
+
+var rTypeFunct = map[Op]uint32{
+	ADDU: fnADDU, SUBU: fnSUBU, AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR,
+	SLT: fnSLT, SLTU: fnSLTU, SLLV: fnSLLV, SRLV: fnSRLV, SRAV: fnSRAV,
+	MULT: fnMULT, MULTU: fnMULTU, DIV: fnDIV, DIVU: fnDIVU,
+	MFHI: fnMFHI, MFLO: fnMFLO, MTHI: fnMTHI, MTLO: fnMTLO,
+}
+
+var functToOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(rTypeFunct))
+	for op, fn := range rTypeFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iTypeOpc = map[Op]uint32{
+	ADDIU: opcADDIU, SLTI: opcSLTI, SLTIU: opcSLTIU, ANDI: opcANDI,
+	ORI: opcORI, XORI: opcXORI,
+	LB: opcLB, LH: opcLH, LW: opcLW, LBU: opcLBU, LHU: opcLHU,
+	SB: opcSB, SH: opcSH, SW: opcSW, LWC1: opcLWC1, SWC1: opcSWC1,
+}
+
+var opcToITypeOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iTypeOpc))
+	for op, o := range iTypeOpc {
+		m[o] = op
+	}
+	return m
+}()
+
+var fpFunct = map[Op]struct{ fmt, fn uint32 }{
+	ADDS: {fmtS, fnFADD}, SUBS: {fmtS, fnFSUB}, MULS: {fmtS, fnFMUL}, DIVS: {fmtS, fnFDIV},
+	ADDD: {fmtD, fnFADD}, SUBD: {fmtD, fnFSUB}, MULD: {fmtD, fnFMUL}, DIVD: {fmtD, fnFDIV},
+	MOVS: {fmtS, fnFMOV}, CVTDW: {fmtW, fnCVTD}, CVTWD: {fmtD, fnCVTW},
+}
+
+func fpReg(r Reg) uint32 {
+	if r.IsFP() {
+		return uint32(r - 32)
+	}
+	return uint32(r) & 31
+}
+
+// Encode produces the 32-bit machine word for the instruction located at
+// word address pc. It returns an error for immediates or displacements that
+// do not fit the 16-bit field, or jump targets outside the 26-bit region.
+func Encode(in Inst, pc uint32) (uint32, error) {
+	imm16 := func(v int32) (uint32, error) {
+		if v < -32768 || v > 32767 {
+			return 0, fmt.Errorf("isa: immediate %d out of 16-bit range in %q", v, in)
+		}
+		return uint32(uint16(v)), nil
+	}
+	branchOff := func() (uint32, error) {
+		off := int64(in.Target) - int64(pc) - 1
+		if off < -32768 || off > 32767 {
+			return 0, fmt.Errorf("isa: branch offset %d out of range in %q at 0x%x", off, in, pc)
+		}
+		return uint32(uint16(int16(off))), nil
+	}
+
+	switch in.Op {
+	case NOP:
+		return 0, nil
+	case SYSCALL:
+		return opcSpecial<<26 | fnSYSCALL, nil
+	case J, JAL:
+		// MIPS J/JAL are pseudo-absolute: the 26-bit field replaces the
+		// low bits of the PC within its 2^26-word region, so target and
+		// pc must share a region.
+		if in.Target>>26 != pc>>26 {
+			return 0, fmt.Errorf("isa: jump target 0x%x outside the region of pc 0x%x", in.Target, pc)
+		}
+		opc := uint32(opcJ)
+		if in.Op == JAL {
+			opc = opcJAL
+		}
+		return opc<<26 | in.Target&(1<<26-1), nil
+	case JR:
+		return opcSpecial<<26 | uint32(in.Rs)<<21 | fnJR, nil
+	case JALR:
+		return opcSpecial<<26 | uint32(in.Rs)<<21 | uint32(in.Rd)<<11 | fnJALR, nil
+	case BEQ, BNE:
+		off, err := branchOff()
+		if err != nil {
+			return 0, err
+		}
+		opc := uint32(opcBEQ)
+		if in.Op == BNE {
+			opc = opcBNE
+		}
+		return opc<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | off, nil
+	case BLEZ, BGTZ:
+		off, err := branchOff()
+		if err != nil {
+			return 0, err
+		}
+		opc := uint32(opcBLEZ)
+		if in.Op == BGTZ {
+			opc = opcBGTZ
+		}
+		return opc<<26 | uint32(in.Rs)<<21 | off, nil
+	case BLTZ, BGEZ:
+		off, err := branchOff()
+		if err != nil {
+			return 0, err
+		}
+		rt := uint32(rtBLTZ)
+		if in.Op == BGEZ {
+			rt = rtBGEZ
+		}
+		return opcRegimm<<26 | uint32(in.Rs)<<21 | rt<<16 | off, nil
+	case LUI:
+		v, err := imm16(in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return opcLUI<<26 | uint32(in.Rd)<<16 | v, nil
+	case SLL, SRL, SRA:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("isa: shift amount %d out of range", in.Imm)
+		}
+		var fn uint32
+		switch in.Op {
+		case SLL:
+			fn = fnSLL
+		case SRL:
+			fn = fnSRL
+		default:
+			fn = fnSRA
+		}
+		return opcSpecial<<26 | uint32(in.Rt)<<16 | uint32(in.Rd)<<11 | uint32(in.Imm)<<6 | fn, nil
+	}
+
+	if fn, ok := rTypeFunct[in.Op]; ok {
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		// Zero the register fields the op does not read or write, so the
+		// emitted word is canonical (the strict decoder requires it).
+		switch in.Op {
+		case MFHI, MFLO:
+			rs, rt = 0, 0
+		case MTHI, MTLO:
+			rt, rd = 0, 0
+		case MULT, MULTU, DIV, DIVU:
+			rd = 0
+		}
+		return opcSpecial<<26 | uint32(rs)<<21 | uint32(rt)<<16 | uint32(rd)<<11 | fn, nil
+	}
+	if opc, ok := iTypeOpc[in.Op]; ok {
+		v, err := imm16(in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		rt := in.Rd
+		if in.Op.IsStore() {
+			rt = in.Rt
+		}
+		return opc<<26 | uint32(in.Rs)<<21 | fpReg(rt)<<16 | v, nil
+	}
+	if f, ok := fpFunct[in.Op]; ok {
+		return opcCOP1<<26 | f.fmt<<21 | fpReg(in.Rt)<<16 | fpReg(in.Rs)<<11 | fpReg(in.Rd)<<6 | f.fn, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+}
+
+// Decode is the inverse of Encode for the instruction located at word
+// address pc.
+func Decode(word uint32, pc uint32) (Inst, error) {
+	opc := word >> 26
+	rs := Reg(word >> 21 & 31)
+	rt := Reg(word >> 16 & 31)
+	rd := Reg(word >> 11 & 31)
+	shamt := int32(word >> 6 & 31)
+	funct := word & 63
+	imm := int32(int16(word & 0xffff))
+	branchTarget := uint32(int64(pc) + 1 + int64(imm))
+
+	// The decoder is strict: reserved fields must be zero, so that every
+	// accepted word re-encodes to itself.
+	mustZero := func(v uint32, what string) error {
+		if v != 0 {
+			return fmt.Errorf("isa: reserved %s field 0x%x nonzero in 0x%08x", what, v, word)
+		}
+		return nil
+	}
+
+	switch opc {
+	case opcSpecial:
+		switch funct {
+		case fnSLL:
+			if word == 0 {
+				return Nop(), nil
+			}
+			if err := mustZero(uint32(rs), "rs"); err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: SLL, Rd: rd, Rt: rt, Imm: shamt}, nil
+		case fnSRL, fnSRA:
+			if err := mustZero(uint32(rs), "rs"); err != nil {
+				return Inst{}, err
+			}
+			op := SRL
+			if funct == fnSRA {
+				op = SRA
+			}
+			return Inst{Op: op, Rd: rd, Rt: rt, Imm: shamt}, nil
+		case fnJR:
+			if err := mustZero(uint32(rt)|uint32(rd)|uint32(shamt), "rt/rd/shamt"); err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: JR, Rs: rs}, nil
+		case fnJALR:
+			if err := mustZero(uint32(rt)|uint32(shamt), "rt/shamt"); err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: JALR, Rd: rd, Rs: rs}, nil
+		case fnSYSCALL:
+			if err := mustZero(word>>6&0xfffff, "code"); err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: SYSCALL}, nil
+		}
+		if op, ok := functToOp[funct]; ok {
+			if err := mustZero(uint32(shamt), "shamt"); err != nil {
+				return Inst{}, err
+			}
+			switch op {
+			case MFHI, MFLO:
+				if err := mustZero(uint32(rs)|uint32(rt), "rs/rt"); err != nil {
+					return Inst{}, err
+				}
+			case MTHI, MTLO:
+				if err := mustZero(uint32(rt)|uint32(rd), "rt/rd"); err != nil {
+					return Inst{}, err
+				}
+			case MULT, MULTU, DIV, DIVU:
+				if err := mustZero(uint32(rd), "rd"); err != nil {
+					return Inst{}, err
+				}
+			}
+			return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown SPECIAL funct 0x%x", funct)
+	case opcRegimm:
+		switch uint32(rt) {
+		case rtBLTZ:
+			return Inst{Op: BLTZ, Rs: rs, Target: branchTarget}, nil
+		case rtBGEZ:
+			return Inst{Op: BGEZ, Rs: rs, Target: branchTarget}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown REGIMM rt 0x%x", uint32(rt))
+	case opcJ:
+		return Inst{Op: J, Target: pc&^uint32(1<<26-1) | word&(1<<26-1)}, nil
+	case opcJAL:
+		return Inst{Op: JAL, Target: pc&^uint32(1<<26-1) | word&(1<<26-1)}, nil
+	case opcBEQ:
+		return Inst{Op: BEQ, Rs: rs, Rt: rt, Target: branchTarget}, nil
+	case opcBNE:
+		return Inst{Op: BNE, Rs: rs, Rt: rt, Target: branchTarget}, nil
+	case opcBLEZ, opcBGTZ:
+		if err := mustZero(uint32(rt), "rt"); err != nil {
+			return Inst{}, err
+		}
+		op := BLEZ
+		if opc == opcBGTZ {
+			op = BGTZ
+		}
+		return Inst{Op: op, Rs: rs, Target: branchTarget}, nil
+	case opcLUI:
+		if err := mustZero(uint32(rs), "rs"); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: LUI, Rd: rt, Imm: imm}, nil
+	case opcCOP1:
+		f := word >> 21 & 31
+		ft := Reg(32 + (word >> 16 & 31))
+		fs := Reg(32 + (word >> 11 & 31))
+		fd := Reg(32 + (word >> 6 & 31))
+		for op, spec := range fpFunct {
+			if spec.fmt == f && spec.fn == funct {
+				return Inst{Op: op, Rd: fd, Rs: fs, Rt: ft}, nil
+			}
+		}
+		return Inst{}, fmt.Errorf("isa: unknown COP1 fmt 0x%x funct 0x%x", f, funct)
+	}
+
+	if op, ok := opcToITypeOp[opc]; ok {
+		in := Inst{Op: op, Rs: rs, Imm: imm}
+		dst := rt
+		if op == LWC1 || op == SWC1 {
+			dst = Reg(32 + uint8(rt))
+		}
+		if op.IsStore() {
+			in.Rt = dst
+		} else {
+			in.Rd = dst
+		}
+		return in, nil
+	}
+	return Inst{}, fmt.Errorf("isa: unknown opcode 0x%x", opc)
+}

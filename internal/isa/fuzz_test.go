@@ -1,0 +1,48 @@
+package isa
+
+import "testing"
+
+// FuzzParseInst: arbitrary text must never panic the assembler, and any
+// accepted instruction must disassemble back to text it accepts again.
+func FuzzParseInst(f *testing.F) {
+	f.Add("lw $t0, 4($sp)")
+	f.Add("addu $v0, $a0, $a1")
+	f.Add("beq $a0, $a1, 0x40")
+	f.Add("jr $ra")
+	f.Add("nop")
+	f.Add("lw $t0, 99999999999($sp)")
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := ParseInst(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseInst(in.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", in.String(), src, err)
+		}
+		if again.String() != in.String() {
+			t.Fatalf("unstable disassembly: %q vs %q", again.String(), in.String())
+		}
+	})
+}
+
+// FuzzDecode: arbitrary words must never panic the decoder, and any word
+// that decodes must re-encode to the same word.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0), uint32(0x1000))
+	f.Add(uint32(0x8c440010), uint32(0x40))
+	f.Add(uint32(0xffffffff), uint32(0))
+	f.Fuzz(func(t *testing.T, word, pc uint32) {
+		in, err := Decode(word, pc)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in, pc)
+		if err != nil {
+			t.Fatalf("decoded %q from %08x but cannot re-encode: %v", in, word, err)
+		}
+		if w2 != word {
+			t.Fatalf("decode/encode of %08x gave %08x (%q)", word, w2, in)
+		}
+	})
+}

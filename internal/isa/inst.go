@@ -1,0 +1,223 @@
+package isa
+
+import "fmt"
+
+// Inst is one instruction. Field use depends on the op:
+//
+//   - ALU 3-reg:      Rd = Rs op Rt
+//   - ALU immediate:  Rd = Rs op Imm (Rd plays the role of MIPS rt)
+//   - Load:           Rd = mem[Rs + Imm]
+//   - Store:          mem[Rs + Imm] = Rt
+//   - Branch:         compare Rs (and Rt for BEQ/BNE); Target is the taken
+//     destination as a word address
+//   - J/JAL:          Target is the destination word address; JAL defs RA
+//   - JR/JALR:        jump to Rs; JALR defs Rd
+//
+// Addresses throughout the simulator are word addresses (the paper
+// measures cache sizes in K-words and block sizes in words).
+type Inst struct {
+	Op     Op
+	Rd     Reg    // destination register
+	Rs     Reg    // first source / address register / jump register
+	Rt     Reg    // second source / store data register
+	Imm    int32  // immediate or displacement (words for mem ops)
+	Target uint32 // branch/jump destination, word address
+}
+
+// Nop returns a no-operation instruction.
+func Nop() Inst { return Inst{Op: NOP} }
+
+// Class returns the pipeline class of the instruction.
+func (in Inst) Class() Class { return in.Op.Class() }
+
+// IsCTI reports whether the instruction transfers control.
+func (in Inst) IsCTI() bool { return in.Op.IsCTI() }
+
+// Defs returns the registers written by the instruction. The zero register
+// is never reported as a def (writes to it are discarded).
+func (in Inst) Defs() []Reg {
+	var d []Reg
+	switch in.Op.Class() {
+	case ClassLoad, ClassALU:
+		if in.Op == MULT || in.Op == MULTU || in.Op == DIV || in.Op == DIVU {
+			// Writes HI/LO, not a general register; modelled as no def.
+			return nil
+		}
+		if in.Rd != Zero {
+			d = append(d, in.Rd)
+		}
+	case ClassJump:
+		if in.Op == JAL {
+			d = append(d, RA)
+		}
+	case ClassJumpReg:
+		if in.Op == JALR && in.Rd != Zero {
+			d = append(d, in.Rd)
+		}
+	case ClassSyscall:
+		// Syscalls clobber the result registers by convention.
+		d = append(d, V0)
+	}
+	return d
+}
+
+// Uses returns the registers read by the instruction.
+func (in Inst) Uses() []Reg {
+	var u []Reg
+	add := func(r Reg) {
+		if r == Zero {
+			return
+		}
+		for _, x := range u {
+			if x == r {
+				return
+			}
+		}
+		u = append(u, r)
+	}
+	switch in.Op {
+	case NOP:
+	case LUI:
+		// No register source.
+	case SLL, SRL, SRA:
+		add(in.Rt) // shift by immediate reads rt in MIPS encoding
+	case MFHI, MFLO:
+		// Reads HI/LO only.
+	case MTHI, MTLO:
+		add(in.Rs)
+	case J:
+	case JAL:
+	case JR, JALR:
+		add(in.Rs)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		add(in.Rs)
+	case BEQ, BNE:
+		add(in.Rs)
+		add(in.Rt)
+	case SYSCALL:
+		add(V0)
+		add(A0)
+	default:
+		switch in.Op.Class() {
+		case ClassLoad:
+			add(in.Rs)
+		case ClassStore:
+			add(in.Rs)
+			add(in.Rt)
+		case ClassALU:
+			switch in.Op {
+			case ADDIU, ANDI, ORI, XORI, SLTI, SLTIU:
+				add(in.Rs)
+			default:
+				add(in.Rs)
+				add(in.Rt)
+			}
+		}
+	}
+	return u
+}
+
+// AddrReg returns the address base register for a load or store, and
+// whether the instruction is a memory access at all.
+func (in Inst) AddrReg() (Reg, bool) {
+	if in.Op.IsMem() {
+		return in.Rs, true
+	}
+	return 0, false
+}
+
+// DefsReg reports whether the instruction writes register r.
+func (in Inst) DefsReg(r Reg) bool {
+	for _, d := range in.Defs() {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesReg reports whether the instruction reads register r.
+func (in Inst) UsesReg(r Reg) bool {
+	for _, u := range in.Uses() {
+		if u == r {
+			return true
+		}
+	}
+	return false
+}
+
+// DependsOn reports whether in has a true (read-after-write) dependency on
+// prev, i.e. in reads a register that prev writes.
+func (in Inst) DependsOn(prev Inst) bool {
+	for _, d := range prev.Defs() {
+		if in.UsesReg(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicts reports whether the pair (prev, in) cannot be reordered:
+// a true dependency, an anti dependency (in writes what prev reads), an
+// output dependency (both write the same register), or a potential memory
+// conflict. Stores may not move past loads or other stores without alias
+// information; the schedulers that assume perfect disambiguation handle
+// memory separately and use DependsOn instead.
+func (in Inst) Conflicts(prev Inst) bool {
+	if in.DependsOn(prev) {
+		return true
+	}
+	for _, d := range in.Defs() {
+		if prev.UsesReg(d) || prev.DefsReg(d) {
+			return true
+		}
+	}
+	if in.Op.IsMem() && prev.Op.IsMem() && (in.Op.IsStore() || prev.Op.IsStore()) {
+		return true
+	}
+	return false
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassNop:
+		return "nop"
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case ClassBranch:
+		switch in.Op {
+		case BEQ, BNE:
+			return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs, in.Rt, in.Target)
+		default:
+			return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rs, in.Target)
+		}
+	case ClassJump:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case ClassJumpReg:
+		if in.Op == JALR {
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+		}
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case ClassSyscall:
+		return "syscall"
+	}
+	switch in.Op {
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case ADDIU, ANDI, ORI, XORI, SLTI, SLTIU:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case SLL, SRL, SRA:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rt, in.Imm)
+	case MFHI, MFLO:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case MTHI, MTLO:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case MULT, MULTU, DIV, DIVU:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rs, in.Rt)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}

@@ -1,0 +1,85 @@
+package isa
+
+import "fmt"
+
+// Reg names a register. Values 0-31 are the integer registers r0-r31;
+// values 32-63 are the floating-point registers f0-f31. The conventional
+// MIPS software names are used for display.
+type Reg uint8
+
+// Integer register aliases following the MIPS o32 convention. The
+// generator leans on GP (global pointer, stable for a whole program) and SP
+// (stack pointer, stable within a procedure) to reproduce the paper's
+// observation that most load address registers change rarely.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // result
+	V1   Reg = 3
+	A0   Reg = 4 // arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // kernel
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer (gp-area base)
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+// F returns the Reg naming floating-point register fn. It panics if n is
+// out of range.
+func F(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: FP register f%d out of range", n))
+	}
+	return Reg(32 + n)
+}
+
+// NumRegs is the total number of architectural registers (32 integer + 32
+// floating point).
+const NumRegs = 64
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional software name, e.g. "$sp" or "$f4".
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return "$" + intRegNames[r]
+	case r < 64:
+		return fmt.Sprintf("$f%d", r-32)
+	default:
+		return fmt.Sprintf("$bad%d", uint8(r))
+	}
+}

@@ -1,0 +1,234 @@
+package program
+
+import (
+	"fmt"
+
+	"pipecache/internal/isa"
+)
+
+// Builder assembles a Program incrementally. It is used by the synthetic
+// benchmark generator and by tests; Finish validates and lays out the
+// result.
+type Builder struct {
+	prog    *Program
+	curProc int
+	err     error
+}
+
+// NewBuilder starts a program with the given name and text base address
+// (in words).
+func NewBuilder(name string, base uint32) *Builder {
+	return &Builder{
+		prog:    &Program{Name: name, Base: base, Entry: 0},
+		curProc: None,
+	}
+}
+
+func (bd *Builder) fail(format string, args ...any) {
+	if bd.err == nil {
+		bd.err = fmt.Errorf(format, args...)
+	}
+}
+
+// StartProc begins a new procedure and returns its index. Blocks created
+// afterwards belong to it until the next StartProc.
+func (bd *Builder) StartProc(name string) int {
+	idx := len(bd.prog.Procs)
+	bd.prog.Procs = append(bd.prog.Procs, &Proc{Name: name, Entry: None, FrameID: idx})
+	bd.curProc = idx
+	return idx
+}
+
+// SetEntry marks the program entry procedure.
+func (bd *Builder) SetEntry(proc int) {
+	if proc < 0 || proc >= len(bd.prog.Procs) {
+		bd.fail("builder: entry proc %d out of range", proc)
+		return
+	}
+	bd.prog.Entry = proc
+}
+
+// NewBlock creates an empty block in the current procedure and returns its
+// ID. The first block of a procedure becomes its entry.
+func (bd *Builder) NewBlock() int {
+	if bd.curProc == None {
+		bd.fail("builder: NewBlock before StartProc")
+		return None
+	}
+	id := len(bd.prog.Blocks)
+	bd.prog.Blocks = append(bd.prog.Blocks, &Block{
+		ID:          id,
+		Fallthrough: None,
+		Taken:       None,
+		CallProc:    None,
+	})
+	proc := bd.prog.Procs[bd.curProc]
+	if proc.Entry == None {
+		proc.Entry = id
+	}
+	proc.Blocks = append(proc.Blocks, id)
+	return id
+}
+
+// Append adds an instruction to a block. CTIs must be added through the
+// terminator helpers instead so the successor edges stay consistent.
+func (bd *Builder) Append(block int, in Inst) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: append to missing block %d", block)
+		return
+	}
+	if in.IsCTI() {
+		bd.fail("builder: CTI %q appended to block %d without terminator helper", in.Inst, block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: append to terminated block %d", block)
+		return
+	}
+	bd.prog.Blocks[block].Insts = append(bd.prog.Blocks[block].Insts, in)
+}
+
+// ALU appends a plain register ALU instruction.
+func (bd *Builder) ALU(block int, op isa.Op, rd, rs, rt isa.Reg) {
+	bd.Append(block, Inst{Inst: isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}})
+}
+
+// Load appends a load with the given memory behaviour.
+func (bd *Builder) Load(block int, rd, rs isa.Reg, off int32, mem MemBehavior) {
+	bd.Append(block, Inst{Inst: isa.Inst{Op: isa.LW, Rd: rd, Rs: rs, Imm: off}, Mem: mem})
+}
+
+// Store appends a store with the given memory behaviour.
+func (bd *Builder) Store(block int, rt, rs isa.Reg, off int32, mem MemBehavior) {
+	bd.Append(block, Inst{Inst: isa.Inst{Op: isa.SW, Rt: rt, Rs: rs, Imm: off}, Mem: mem})
+}
+
+// Branch terminates a block with a conditional branch. prob is the
+// probability the branch is taken at run time.
+func (bd *Builder) Branch(block int, op isa.Op, rs, rt isa.Reg, taken, fallthrough_ int, prob float64) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: branch in missing block %d", block)
+		return
+	}
+	if op.Class() != isa.ClassBranch {
+		bd.fail("builder: %v is not a conditional branch", op)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Insts = append(b.Insts, Inst{Inst: isa.Inst{Op: op, Rs: rs, Rt: rt}})
+	b.Taken = taken
+	b.Fallthrough = fallthrough_
+	b.TakenProb = prob
+}
+
+// Jump terminates a block with an unconditional direct jump.
+func (bd *Builder) Jump(block, target int) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: jump in missing block %d", block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Insts = append(b.Insts, Inst{Inst: isa.Inst{Op: isa.J}})
+	b.Taken = target
+	b.TakenProb = 1
+}
+
+// Call terminates a block with a procedure call; execution resumes at
+// returnTo.
+func (bd *Builder) Call(block, callee, returnTo int) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: call in missing block %d", block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Insts = append(b.Insts, Inst{Inst: isa.Inst{Op: isa.JAL}})
+	b.CallProc = callee
+	b.Fallthrough = returnTo
+	b.TakenProb = 1
+}
+
+// Return terminates a block with a return (jr $ra).
+func (bd *Builder) Return(block int) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: return in missing block %d", block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Insts = append(b.Insts, Inst{Inst: isa.Inst{Op: isa.JR, Rs: isa.RA}})
+	b.IsReturn = true
+	b.TakenProb = 1
+}
+
+// IndirectJump terminates a block with a register-indirect jump whose
+// run-time target the simulator resolves to the given block (a one-entry
+// jump table; enough to model the reference behaviour of jr-based
+// dispatch).
+func (bd *Builder) IndirectJump(block, target int, rs isa.Reg) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: indirect jump in missing block %d", block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Insts = append(b.Insts, Inst{Inst: isa.Inst{Op: isa.JR, Rs: rs}})
+	b.Taken = target
+	b.TakenProb = 1
+}
+
+// Fallthrough sets the successor of a straight-line block.
+func (bd *Builder) Fallthrough(block, next int) {
+	b := bd.prog.Block(block)
+	if b == nil {
+		bd.fail("builder: fallthrough in missing block %d", block)
+		return
+	}
+	if _, terminated := b.Terminator(); terminated {
+		bd.fail("builder: block %d already terminated", block)
+		return
+	}
+	b.Fallthrough = next
+}
+
+// BlockLen returns the current instruction count of a block, or 0 for a
+// missing block.
+func (bd *Builder) BlockLen(block int) int {
+	b := bd.prog.Block(block)
+	if b == nil {
+		return 0
+	}
+	return len(b.Insts)
+}
+
+// Finish validates, lays out, and returns the program.
+func (bd *Builder) Finish() (*Program, error) {
+	if bd.err != nil {
+		return nil, bd.err
+	}
+	if err := bd.prog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := bd.prog.Layout(); err != nil {
+		return nil, err
+	}
+	return bd.prog, nil
+}

@@ -1,0 +1,60 @@
+package program
+
+import "fmt"
+
+// DataRegion is a contiguous span of data memory (word addresses) used by
+// array and heap accesses.
+type DataRegion struct {
+	Name string
+	Base uint32 // word address
+	Size uint32 // words
+}
+
+// DataLayout fixes where a program's data lives. The interpreter turns
+// MemBehavior into concrete word addresses using this layout:
+//
+//   - MemGP accesses hit GPBase+Offset (offset folded modulo GPSize);
+//   - MemStack accesses hit the frame of the executing procedure:
+//     StackBase + FrameID*FrameSize + Offset;
+//   - MemArray and MemHeap accesses hit Regions[Region].
+//
+// All sizes are in 32-bit words, matching the paper's units (cache sizes in
+// K-words, block sizes in words).
+type DataLayout struct {
+	GPBase    uint32
+	GPSize    uint32
+	StackBase uint32
+	FrameSize uint32
+	Regions   []DataRegion
+}
+
+// Validate checks that the layout is usable by the given program: non-zero
+// gp area and frame size, every referenced region present and non-empty.
+func (d *DataLayout) Validate(p *Program) error {
+	if d.GPSize == 0 {
+		return fmt.Errorf("data layout: zero gp area")
+	}
+	if d.FrameSize == 0 {
+		return fmt.Errorf("data layout: zero frame size")
+	}
+	for _, b := range p.Blocks {
+		for i, in := range b.Insts {
+			switch in.Mem.Kind {
+			case MemArray, MemHeap:
+				if in.Mem.Region < 0 || in.Mem.Region >= len(d.Regions) {
+					return fmt.Errorf("data layout: block %d inst %d references region %d of %d", b.ID, i, in.Mem.Region, len(d.Regions))
+				}
+				if d.Regions[in.Mem.Region].Size == 0 {
+					return fmt.Errorf("data layout: region %d (%s) is empty", in.Mem.Region, d.Regions[in.Mem.Region].Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// clone returns a deep copy.
+func (d DataLayout) clone() DataLayout {
+	d.Regions = append([]DataRegion(nil), d.Regions...)
+	return d
+}

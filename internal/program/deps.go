@@ -1,0 +1,141 @@
+package program
+
+import "pipecache/internal/isa"
+
+// This file implements the static dependency analyses from Sections 3.1 and
+// 3.2 of the paper:
+//
+//   - CTIMovable: how far a basic block's terminating CTI can be moved up
+//     (the r of the delay-slot insertion procedure, step 2);
+//   - LoadDistances: per-load c, d and epsilon values restricted to the
+//     basic block, the quantities behind Figure 7 and the static columns of
+//     Table 5.
+
+// CTIMovable returns r: the number of positions the block's terminating CTI
+// can be hoisted within the block, limited by true dependencies on the
+// instructions it would move above. Moving the CTI up by r places the r
+// hoisted instructions in its delay slots; they came from before the CTI so
+// they execute unconditionally and never need squashing.
+//
+// Following the paper, only the CTI moves: no other reordering is
+// attempted. The CTI may not move above an instruction that defines a
+// register the CTI reads, and (paper step 1) a noop immediately following a
+// CTI in original MIPS code marks a CTI that could not be moved — callers
+// model that case by the scheduler, not here. A CTI also may not move above
+// a syscall (which has side effects ordering constraints).
+//
+// The result is 0 for blocks without a CTI.
+func CTIMovable(b *Block) int {
+	term, ok := b.Terminator()
+	if !ok {
+		return 0
+	}
+	r := 0
+	for i := len(b.Insts) - 2; i >= 0; i-- {
+		prev := b.Insts[i]
+		if prev.Op.Class() == isa.ClassSyscall {
+			break
+		}
+		if term.Inst.DependsOn(prev.Inst) {
+			break
+		}
+		r++
+	}
+	return r
+}
+
+// LoadDist holds the block-restricted dependency distances of one load.
+type LoadDist struct {
+	BlockID int
+	Index   int // position of the load within the block
+	// C is the number of instructions between the last in-block definition
+	// of the load's address register and the load; if the address register
+	// is not defined in the block (the common case for gp/sp addressing),
+	// C is the number of instructions before the load in the block —
+	// the load can be hoisted to the block entry.
+	C int
+	// D is the number of instructions between the load and the first
+	// in-block use of its result; if the result is not used in the block,
+	// D is the number of instructions after the load in the block.
+	D int
+	// Independent is the number of instructions within the block,
+	// drawn from anywhere between the address-register definition and the
+	// first use, that do not depend on the load and that the load can be
+	// separated from: the scheduling freedom epsilon restricted to the
+	// block. Epsilon() returns C+D which is the paper's definition.
+	Independent int
+}
+
+// Epsilon returns the paper's epsilon = c + d for the block-restricted
+// distances.
+func (l LoadDist) Epsilon() int { return l.C + l.D }
+
+// LoadDistances analyses every load in the block and returns the
+// block-restricted c/d distances. The analysis assumes perfect memory
+// disambiguation (a load may move past stores), matching the paper's
+// "best static scheduling" assumption; only true register dependencies
+// constrain motion.
+func LoadDistances(b *Block) []LoadDist {
+	var out []LoadDist
+	for i, in := range b.Insts {
+		if !in.Op.IsLoad() {
+			continue
+		}
+		ld := LoadDist{BlockID: b.ID, Index: i}
+
+		// c: scan upward for the last definition of the address register.
+		addr, _ := in.Inst.AddrReg()
+		ld.C = i // default: no def in block, load can reach block top
+		for j := i - 1; j >= 0; j-- {
+			if b.Insts[j].Inst.DefsReg(addr) {
+				ld.C = i - j - 1
+				break
+			}
+		}
+
+		// d: scan downward for the first use of the destination register.
+		// A redefinition of the destination without an intervening use
+		// also ends the window (the loaded value is dead past there).
+		dst := in.Rd
+		ld.D = len(b.Insts) - i - 1 // default: no use in block
+		for j := i + 1; j < len(b.Insts); j++ {
+			if b.Insts[j].Inst.UsesReg(dst) {
+				ld.D = j - i - 1
+				break
+			}
+			if b.Insts[j].Inst.DefsReg(dst) {
+				ld.D = j - i - 1
+				break
+			}
+		}
+
+		// Independent instructions within the c..d window that do not
+		// depend on the load (they could fill its delay slots).
+		count := 0
+		for j := i - ld.C; j <= i+ld.D; j++ {
+			if j == i || j < 0 || j >= len(b.Insts) {
+				continue
+			}
+			if !b.Insts[j].Inst.DependsOn(in.Inst) {
+				count++
+			}
+		}
+		ld.Independent = count
+		out = append(out, ld)
+	}
+	return out
+}
+
+// StaticHiddenLoadCycles returns, for an architecture with l load delay
+// cycles, how many of those cycles static in-block scheduling hides for the
+// given load: min(l, epsilon_restricted).
+func StaticHiddenLoadCycles(ld LoadDist, l int) int {
+	if l < 0 {
+		return 0
+	}
+	eps := ld.Epsilon()
+	if eps < l {
+		return eps
+	}
+	return l
+}

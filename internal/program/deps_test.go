@@ -1,0 +1,182 @@
+package program
+
+import (
+	"testing"
+
+	"pipecache/internal/isa"
+)
+
+func blockOf(insts ...Inst) *Block {
+	return &Block{ID: 0, Insts: insts}
+}
+
+func alu(op isa.Op, rd, rs, rt isa.Reg) Inst {
+	return Inst{Inst: isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}}
+}
+
+func lw(rd, rs isa.Reg) Inst {
+	return Inst{Inst: isa.Inst{Op: isa.LW, Rd: rd, Rs: rs}, Mem: MemBehavior{Kind: MemStack}}
+}
+
+func branch(rs isa.Reg) Inst {
+	return Inst{Inst: isa.Inst{Op: isa.BNE, Rs: rs, Rt: isa.Zero}}
+}
+
+func TestCTIMovableNoDependence(t *testing.T) {
+	// Three independent ALU ops then a branch on t9: branch can move up 3.
+	b := blockOf(
+		alu(isa.ADDU, isa.T0, isa.A0, isa.A1),
+		alu(isa.ADDU, isa.T1, isa.A2, isa.A3),
+		alu(isa.ADDU, isa.T2, isa.A0, isa.A2),
+		branch(isa.T9),
+	)
+	if got := CTIMovable(b); got != 3 {
+		t.Fatalf("CTIMovable = %d, want 3", got)
+	}
+}
+
+func TestCTIMovableBlockedByDependence(t *testing.T) {
+	// The instruction immediately before the branch computes its condition.
+	b := blockOf(
+		alu(isa.ADDU, isa.T0, isa.A0, isa.A1),
+		alu(isa.SLT, isa.T9, isa.T0, isa.A1),
+		branch(isa.T9),
+	)
+	if got := CTIMovable(b); got != 0 {
+		t.Fatalf("CTIMovable = %d, want 0", got)
+	}
+}
+
+func TestCTIMovablePartial(t *testing.T) {
+	b := blockOf(
+		alu(isa.SLT, isa.T9, isa.A0, isa.A1), // defines the condition
+		alu(isa.ADDU, isa.T0, isa.A2, isa.A3),
+		alu(isa.ADDU, isa.T1, isa.A2, isa.A0),
+		branch(isa.T9),
+	)
+	if got := CTIMovable(b); got != 2 {
+		t.Fatalf("CTIMovable = %d, want 2", got)
+	}
+}
+
+func TestCTIMovableStopsAtSyscall(t *testing.T) {
+	b := blockOf(
+		Inst{Inst: isa.Inst{Op: isa.SYSCALL}},
+		alu(isa.ADDU, isa.T0, isa.A2, isa.A3),
+		branch(isa.T9),
+	)
+	if got := CTIMovable(b); got != 1 {
+		t.Fatalf("CTIMovable = %d, want 1", got)
+	}
+}
+
+func TestCTIMovableUnconditionalJump(t *testing.T) {
+	// J depends on nothing; movable past everything.
+	b := blockOf(
+		alu(isa.ADDU, isa.T0, isa.A0, isa.A1),
+		Inst{Inst: isa.Inst{Op: isa.J}},
+	)
+	if got := CTIMovable(b); got != 1 {
+		t.Fatalf("CTIMovable = %d, want 1", got)
+	}
+}
+
+func TestCTIMovableNoCTI(t *testing.T) {
+	b := blockOf(alu(isa.ADDU, isa.T0, isa.A0, isa.A1))
+	if got := CTIMovable(b); got != 0 {
+		t.Fatalf("CTIMovable = %d, want 0", got)
+	}
+}
+
+func TestLoadDistancesBasic(t *testing.T) {
+	// addiu t0 (defines addr reg); alu; lw t1, 0(t0); alu; alu; use t1
+	b := blockOf(
+		alu(isa.ADDIU, isa.T0, isa.SP, isa.Zero),
+		alu(isa.ADDU, isa.T2, isa.A0, isa.A1),
+		lw(isa.T1, isa.T0),
+		alu(isa.ADDU, isa.T3, isa.A0, isa.A2),
+		alu(isa.ADDU, isa.T4, isa.A1, isa.A2),
+		alu(isa.ADDU, isa.T5, isa.T1, isa.A0), // first use of t1
+	)
+	ds := LoadDistances(b)
+	if len(ds) != 1 {
+		t.Fatalf("got %d loads, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.C != 1 {
+		t.Errorf("C = %d, want 1", d.C)
+	}
+	if d.D != 2 {
+		t.Errorf("D = %d, want 2", d.D)
+	}
+	if d.Epsilon() != 3 {
+		t.Errorf("Epsilon = %d, want 3", d.Epsilon())
+	}
+}
+
+func TestLoadDistancesNoDefNoUse(t *testing.T) {
+	// Address register never defined in block, result never used:
+	// C = instructions before, D = instructions after.
+	b := blockOf(
+		alu(isa.ADDU, isa.T2, isa.A0, isa.A1),
+		alu(isa.ADDU, isa.T3, isa.A0, isa.A2),
+		lw(isa.T1, isa.GP),
+		alu(isa.ADDU, isa.T4, isa.A1, isa.A2),
+	)
+	d := LoadDistances(b)[0]
+	if d.C != 2 || d.D != 1 {
+		t.Fatalf("C,D = %d,%d, want 2,1", d.C, d.D)
+	}
+}
+
+func TestLoadDistancesUseImmediatelyAfter(t *testing.T) {
+	b := blockOf(
+		lw(isa.T1, isa.SP),
+		alu(isa.ADDU, isa.T5, isa.T1, isa.A0),
+	)
+	d := LoadDistances(b)[0]
+	if d.C != 0 || d.D != 0 || d.Epsilon() != 0 {
+		t.Fatalf("C,D,eps = %d,%d,%d, want 0,0,0", d.C, d.D, d.Epsilon())
+	}
+}
+
+func TestLoadDistancesRedefinitionEndsWindow(t *testing.T) {
+	// t1 is overwritten before any use: window ends at the redefinition.
+	b := blockOf(
+		lw(isa.T1, isa.SP),
+		alu(isa.ADDU, isa.T2, isa.A0, isa.A1),
+		alu(isa.ADDU, isa.T1, isa.A0, isa.A2), // redefines t1
+		alu(isa.ADDU, isa.T3, isa.T1, isa.A0),
+	)
+	d := LoadDistances(b)[0]
+	if d.D != 1 {
+		t.Fatalf("D = %d, want 1", d.D)
+	}
+}
+
+func TestLoadDistancesMultipleLoads(t *testing.T) {
+	b := blockOf(
+		lw(isa.T1, isa.SP),
+		lw(isa.T2, isa.GP),
+		alu(isa.ADDU, isa.T3, isa.T1, isa.T2),
+	)
+	ds := LoadDistances(b)
+	if len(ds) != 2 {
+		t.Fatalf("got %d loads, want 2", len(ds))
+	}
+	if ds[0].D != 1 || ds[1].D != 0 {
+		t.Fatalf("D values = %d,%d, want 1,0", ds[0].D, ds[1].D)
+	}
+}
+
+func TestStaticHiddenLoadCycles(t *testing.T) {
+	ld := LoadDist{C: 1, D: 1} // epsilon 2
+	cases := []struct{ l, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := StaticHiddenLoadCycles(ld, c.l); got != c.want {
+			t.Errorf("l=%d: hidden = %d, want %d", c.l, got, c.want)
+		}
+	}
+}

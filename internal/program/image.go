@@ -1,0 +1,64 @@
+package program
+
+import (
+	"fmt"
+	"io"
+
+	"pipecache/internal/isa"
+)
+
+// EncodeImage assembles the program into its binary text image: one 32-bit
+// machine word per instruction at the laid-out addresses, starting at
+// p.Base. Every instruction of a valid program must be encodable; an error
+// here indicates a generator or builder bug.
+func EncodeImage(p *Program) ([]uint32, error) {
+	words := make([]uint32, p.NumInsts())
+	for _, proc := range p.Procs {
+		for _, id := range proc.Blocks {
+			b := p.Block(id)
+			for i, in := range b.Insts {
+				pc := b.Addr + uint32(i)
+				idx := pc - p.Base
+				if int(idx) >= len(words) {
+					return nil, fmt.Errorf("program %s: block %d overruns the image at 0x%x", p.Name, id, pc)
+				}
+				w, err := isa.Encode(in.Inst, pc)
+				if err != nil {
+					return nil, fmt.Errorf("program %s: block %d inst %d: %w", p.Name, id, i, err)
+				}
+				words[idx] = w
+			}
+		}
+	}
+	return words, nil
+}
+
+// Disassemble writes an assembly listing of the program: procedure labels,
+// block labels with entry addresses, and one instruction per line.
+func Disassemble(p *Program, w io.Writer) error {
+	for pi, proc := range p.Procs {
+		if _, err := fmt.Fprintf(w, "%s:  # proc %d, frame %d\n", proc.Name, pi, proc.FrameID); err != nil {
+			return err
+		}
+		for _, id := range proc.Blocks {
+			b := p.Block(id)
+			if _, err := fmt.Fprintf(w, ".L%d:  # 0x%x", id, b.Addr); err != nil {
+				return err
+			}
+			if t, ok := b.Terminator(); ok && t.Op.Class() == isa.ClassBranch {
+				fmt.Fprintf(w, "  (taken p=%.2f -> .L%d)", b.TakenProb, b.Taken)
+			}
+			fmt.Fprintln(w)
+			for i, in := range b.Insts {
+				if _, err := fmt.Fprintf(w, "  %6x:  %s", b.Addr+uint32(i), in.Inst); err != nil {
+					return err
+				}
+				if in.Mem.Kind != MemNone {
+					fmt.Fprintf(w, "  # %s", in.Mem.Kind)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"pipecache/internal/isa"
+)
+
+func TestEncodeImageRoundTrip(t *testing.T) {
+	p := buildLoopProgramForImage(t)
+	img, err := EncodeImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != p.NumInsts() {
+		t.Fatalf("image %d words, program %d insts", len(img), p.NumInsts())
+	}
+	// Decode every word back and compare the architectural fields.
+	for _, b := range p.Blocks {
+		for i, in := range b.Insts {
+			pc := b.Addr + uint32(i)
+			got, err := isa.Decode(img[pc-p.Base], pc)
+			if err != nil {
+				t.Fatalf("decode at 0x%x: %v", pc, err)
+			}
+			// Re-encode: the canonical comparison (some fields are not
+			// stored for every format).
+			w1, err := isa.Encode(in.Inst, pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := isa.Encode(got, pc)
+			if err != nil {
+				t.Fatalf("re-encode at 0x%x: %v", pc, err)
+			}
+			if w1 != w2 {
+				t.Fatalf("round trip at 0x%x: %q vs %q", pc, in.Inst, got)
+			}
+		}
+	}
+}
+
+func buildLoopProgramForImage(t *testing.T) *Program {
+	t.Helper()
+	bd := NewBuilder("img", 0x400)
+	main := bd.StartProc("main")
+	b0 := bd.NewBlock()
+	b1 := bd.NewBlock()
+	helper := bd.StartProc("helper")
+	h0 := bd.NewBlock()
+
+	bd.Append(b0, Inst{Inst: isa.Inst{Op: isa.ADDIU, Rd: isa.SP, Rs: isa.SP, Imm: -64}})
+	bd.Load(b0, isa.T0, isa.GP, 12, MemBehavior{Kind: MemGP, Offset: 12})
+	bd.Store(b0, isa.T0, isa.SP, 4, MemBehavior{Kind: MemStack, Offset: 4})
+	bd.Call(b0, helper, b1)
+
+	bd.ALU(b1, isa.SLT, isa.T9, isa.T0, isa.A0)
+	bd.Branch(b1, isa.BNE, isa.T9, isa.Zero, b0, b1, 0.5)
+
+	bd.ALU(h0, isa.ADDU, isa.V0, isa.A0, isa.A1)
+	bd.Return(h0)
+
+	bd.SetEntry(main)
+	p, err := bd.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data = DataLayout{GPBase: 0x10000, GPSize: 64, StackBase: 0x20000, FrameSize: 64}
+	return p
+}
+
+func TestDisassembleListing(t *testing.T) {
+	p := buildLoopProgramForImage(t)
+	var sb strings.Builder
+	if err := Disassemble(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"main:", "helper:", ".L0:", "lw $t0, 12($gp)", "jr $ra", "# gp", "taken p=0.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package program represents executable programs as control-flow graphs of
+// basic blocks, in the role of the MIPS object code of the paper.
+//
+// A program is a set of procedures, each a list of basic blocks. Every
+// block carries its instructions plus the behavioural metadata the
+// trace-driven simulator needs: branch bias (how often the terminating CTI
+// is taken) and, per memory instruction, the address-stream behaviour
+// (gp-area scalar, stack scalar, sequential array walk, or heap access).
+//
+// The package also provides the static analyses the paper's object-code
+// post-processor performs: address layout, the movable distance r of each
+// CTI (how many preceding instructions can be hoisted into its delay
+// slots), and the per-load dependency distances used for load-delay
+// scheduling.
+package program
+
+import (
+	"fmt"
+
+	"pipecache/internal/isa"
+)
+
+// MemKind classifies the address behaviour of a memory instruction.
+type MemKind uint8
+
+const (
+	// MemNone marks non-memory instructions.
+	MemNone MemKind = iota
+	// MemGP is a global scalar addressed off the global pointer; the
+	// address is a fixed word in the 64 KB gp area (paper Section 3.2).
+	MemGP
+	// MemStack is a local scalar addressed off the stack pointer; the
+	// address is a fixed offset in the current frame.
+	MemStack
+	// MemArray walks an array region sequentially with a fixed word
+	// stride, wrapping at the region size.
+	MemArray
+	// MemHeap touches a pseudo-random word within a heap working set
+	// (pointer-chasing behaviour).
+	MemHeap
+)
+
+func (k MemKind) String() string {
+	switch k {
+	case MemNone:
+		return "none"
+	case MemGP:
+		return "gp"
+	case MemStack:
+		return "stack"
+	case MemArray:
+		return "array"
+	case MemHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("memkind(%d)", uint8(k))
+}
+
+// MemBehavior describes how a memory instruction generates addresses.
+type MemBehavior struct {
+	Kind   MemKind
+	Region int   // index of the array/heap region (for MemArray, MemHeap)
+	Stride int32 // words advanced per access (MemArray)
+	Offset int32 // fixed word offset (MemGP, MemStack, and base for MemArray)
+}
+
+// Inst is one program instruction: the architectural instruction plus the
+// simulator's behavioural metadata. The metadata travels with the
+// instruction when schedulers rearrange code.
+type Inst struct {
+	isa.Inst
+	Mem MemBehavior
+}
+
+// Block is a basic block: straight-line code ending in at most one CTI
+// (which, when present, is the last instruction).
+type Block struct {
+	ID    int
+	Insts []Inst
+
+	// Control-flow successors. An ID of None means the edge does not
+	// exist. For conditional branches both edges exist; for unconditional
+	// jumps only Taken; for call blocks (terminated by JAL) Fallthrough is
+	// the return point and CallProc names the callee; for return blocks
+	// (terminated by JR $ra) the successor is determined by the call
+	// stack.
+	Fallthrough int
+	Taken       int
+	CallProc    int // callee procedure index, or None
+	IsReturn    bool
+
+	// TakenProb is the probability the terminating conditional branch is
+	// taken on a given execution (loop back-edges are close to 1).
+	TakenProb float64
+
+	// Addr is the word address of the first instruction, assigned by
+	// Layout.
+	Addr uint32
+}
+
+// None marks an absent block/procedure reference.
+const None = -1
+
+// Proc is a procedure: a contiguous sequence of blocks with a single entry.
+type Proc struct {
+	Name   string
+	Entry  int   // block ID of the entry block
+	Blocks []int // block IDs in layout order; Blocks[0] == Entry
+	// FrameID distinguishes stack frames for address generation: calls to
+	// the same procedure reuse the same frame window, which is what the
+	// MIPS compiler's sp-relative addressing produces for a non-recursive
+	// call tree.
+	FrameID int
+}
+
+// Program is a whole benchmark image.
+type Program struct {
+	Name   string
+	Blocks []*Block // indexed by Block.ID
+	Procs  []*Proc
+	Entry  int // index into Procs
+
+	// Base is the word address of the first instruction (text segment
+	// base). Distinct programs in a multiprogrammed trace use distinct
+	// bases.
+	Base uint32
+
+	// Data fixes where the program's data lives.
+	Data DataLayout
+}
+
+// Terminator returns the block's CTI and true, or a zero Inst and false if
+// the block ends in straight-line code.
+func (b *Block) Terminator() (Inst, bool) {
+	if len(b.Insts) == 0 {
+		return Inst{}, false
+	}
+	last := b.Insts[len(b.Insts)-1]
+	if last.IsCTI() {
+		return last, true
+	}
+	return Inst{}, false
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return len(b.Insts) }
+
+// NumInsts returns the static instruction count of the program.
+func (p *Program) NumInsts() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Block returns the block with the given ID, or nil if out of range.
+func (p *Program) Block(id int) *Block {
+	if id < 0 || id >= len(p.Blocks) {
+		return nil
+	}
+	return p.Blocks[id]
+}
+
+// Layout assigns word addresses to every block: procedures in order, blocks
+// in procedure order, starting at p.Base; then rewrites every CTI target to
+// the laid-out address of its destination. It must be called after any
+// transformation that changes block sizes. JAL targets point at the entry
+// block of CallProc; conditional branch and J targets point at the Taken
+// block.
+func (p *Program) Layout() error {
+	addr := p.Base
+	for _, proc := range p.Procs {
+		for _, id := range proc.Blocks {
+			b := p.Block(id)
+			if b == nil {
+				return fmt.Errorf("program %s: proc %s references missing block %d", p.Name, proc.Name, id)
+			}
+			b.Addr = addr
+			addr += uint32(len(b.Insts))
+		}
+	}
+	for _, b := range p.Blocks {
+		term, ok := b.Terminator()
+		if !ok {
+			continue
+		}
+		last := len(b.Insts) - 1
+		switch term.Op.Class() {
+		case isa.ClassBranch:
+			if p.Block(b.Taken) == nil {
+				return fmt.Errorf("program %s: block %d branch to missing block %d", p.Name, b.ID, b.Taken)
+			}
+			b.Insts[last].Target = p.Block(b.Taken).Addr
+		case isa.ClassJump:
+			if term.Op == isa.JAL {
+				if b.CallProc < 0 || b.CallProc >= len(p.Procs) {
+					return fmt.Errorf("program %s: block %d calls missing proc %d", p.Name, b.ID, b.CallProc)
+				}
+				callee := p.Procs[b.CallProc]
+				b.Insts[last].Target = p.Block(callee.Entry).Addr
+			} else {
+				if p.Block(b.Taken) == nil {
+					return fmt.Errorf("program %s: block %d jump to missing block %d", p.Name, b.ID, b.Taken)
+				}
+				b.Insts[last].Target = p.Block(b.Taken).Addr
+			}
+		case isa.ClassJumpReg:
+			// Target resolved at run time (return address or jump table).
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: block IDs match positions, every
+// block belongs to exactly one procedure, CTIs appear only as terminators,
+// successor edges are present exactly where the terminator requires them,
+// and probabilities are in range.
+func (p *Program) Validate() error {
+	if len(p.Procs) == 0 {
+		return fmt.Errorf("program %s: no procedures", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Procs) {
+		return fmt.Errorf("program %s: entry proc %d out of range", p.Name, p.Entry)
+	}
+	owner := make([]int, len(p.Blocks))
+	for i := range owner {
+		owner[i] = None
+	}
+	for pi, proc := range p.Procs {
+		if len(proc.Blocks) == 0 {
+			return fmt.Errorf("program %s: proc %s has no blocks", p.Name, proc.Name)
+		}
+		if proc.Blocks[0] != proc.Entry {
+			return fmt.Errorf("program %s: proc %s entry %d is not its first block %d", p.Name, proc.Name, proc.Entry, proc.Blocks[0])
+		}
+		for _, id := range proc.Blocks {
+			if p.Block(id) == nil {
+				return fmt.Errorf("program %s: proc %s references missing block %d", p.Name, proc.Name, id)
+			}
+			if owner[id] != None {
+				return fmt.Errorf("program %s: block %d in both proc %d and %d", p.Name, id, owner[id], pi)
+			}
+			owner[id] = pi
+		}
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("program %s: block at index %d has ID %d", p.Name, i, b.ID)
+		}
+		if owner[i] == None {
+			return fmt.Errorf("program %s: block %d not in any procedure", p.Name, i)
+		}
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("program %s: block %d is empty", p.Name, i)
+		}
+		for j, in := range b.Insts {
+			if in.IsCTI() && j != len(b.Insts)-1 {
+				return fmt.Errorf("program %s: block %d has CTI %q at non-terminal position %d", p.Name, i, in.Inst, j)
+			}
+			if in.Op.IsMem() && in.Mem.Kind == MemNone {
+				return fmt.Errorf("program %s: block %d inst %d (%q) has no memory behaviour", p.Name, i, j, in.Inst)
+			}
+			if !in.Op.IsMem() && in.Mem.Kind != MemNone {
+				return fmt.Errorf("program %s: block %d inst %d (%q) is not a memory op but has memory behaviour", p.Name, i, j, in.Inst)
+			}
+		}
+		if b.TakenProb < 0 || b.TakenProb > 1 {
+			return fmt.Errorf("program %s: block %d taken probability %g out of range", p.Name, i, b.TakenProb)
+		}
+		if err := p.validateEdges(b, owner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateEdges(b *Block, owner []int) error {
+	term, ok := b.Terminator()
+	if !ok {
+		if b.Fallthrough == None {
+			return fmt.Errorf("program %s: straight-line block %d has no fallthrough", p.Name, b.ID)
+		}
+		if p.Block(b.Fallthrough) == nil {
+			return fmt.Errorf("program %s: block %d falls through to missing block %d", p.Name, b.ID, b.Fallthrough)
+		}
+		return nil
+	}
+	switch term.Op.Class() {
+	case isa.ClassBranch:
+		if p.Block(b.Taken) == nil || p.Block(b.Fallthrough) == nil {
+			return fmt.Errorf("program %s: branch block %d needs both successors (taken %d, fallthrough %d)", p.Name, b.ID, b.Taken, b.Fallthrough)
+		}
+		// Branches stay within their procedure.
+		if owner[b.Taken] != owner[b.ID] || owner[b.Fallthrough] != owner[b.ID] {
+			return fmt.Errorf("program %s: branch block %d crosses procedures", p.Name, b.ID)
+		}
+	case isa.ClassJump:
+		if term.Op == isa.JAL {
+			if b.CallProc < 0 || b.CallProc >= len(p.Procs) {
+				return fmt.Errorf("program %s: call block %d has bad callee %d", p.Name, b.ID, b.CallProc)
+			}
+			if p.Block(b.Fallthrough) == nil {
+				return fmt.Errorf("program %s: call block %d has no return point", p.Name, b.ID)
+			}
+		} else {
+			if p.Block(b.Taken) == nil {
+				return fmt.Errorf("program %s: jump block %d has no target", p.Name, b.ID)
+			}
+			if owner[b.Taken] != owner[b.ID] {
+				return fmt.Errorf("program %s: jump block %d crosses procedures", p.Name, b.ID)
+			}
+		}
+	case isa.ClassJumpReg:
+		if !b.IsReturn && p.Block(b.Taken) == nil {
+			return fmt.Errorf("program %s: indirect jump block %d is neither return nor has a target set", p.Name, b.ID)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program; schedulers transform the copy
+// so the original remains usable as the zero-delay-slot reference.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Entry: p.Entry, Base: p.Base, Data: p.Data.clone()}
+	q.Blocks = make([]*Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		nb := *b
+		nb.Insts = append([]Inst(nil), b.Insts...)
+		q.Blocks[i] = &nb
+	}
+	q.Procs = make([]*Proc, len(p.Procs))
+	for i, pr := range p.Procs {
+		np := *pr
+		np.Blocks = append([]int(nil), pr.Blocks...)
+		q.Procs[i] = &np
+	}
+	return q
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"testing"
+
+	"pipecache/internal/gen"
+	"pipecache/internal/isa"
+	"pipecache/internal/program"
+)
+
+// buildBiased builds a program with a forward branch that is actually
+// taken 90% of the time: the heuristic predicts it not-taken, the profile
+// flips it.
+func buildBiased(t *testing.T) *program.Program {
+	t.Helper()
+	bd := program.NewBuilder("biased", 0x100)
+	main := bd.StartProc("main")
+	b0 := bd.NewBlock()
+	b1 := bd.NewBlock()
+	b2 := bd.NewBlock()
+
+	bd.ALU(b0, isa.ADDU, isa.T0, isa.A0, isa.A1)
+	bd.ALU(b0, isa.SLT, isa.T9, isa.T0, isa.A1)
+	bd.Branch(b0, isa.BNE, isa.T9, isa.Zero, b2, b1, 0.9) // forward, usually taken
+
+	bd.ALU(b1, isa.ADDU, isa.T1, isa.A2, isa.A3)
+	bd.Fallthrough(b1, b2)
+
+	bd.ALU(b2, isa.ADDU, isa.T2, isa.A0, isa.A2)
+	bd.Jump(b2, b0)
+
+	bd.SetEntry(main)
+	p, err := bd.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data = program.DataLayout{GPBase: 0x10000, GPSize: 64, StackBase: 0x20000, FrameSize: 64}
+	return p
+}
+
+func TestCollectProfileMeasuresBias(t *testing.T) {
+	p := buildBiased(t)
+	prof, err := CollectProfile(p, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, ok := prof.TakenFrac(0)
+	if !ok {
+		t.Fatal("branch block not observed")
+	}
+	if frac < 0.8 || frac > 1.0 {
+		t.Fatalf("taken fraction %.2f, behaviour says 0.9", frac)
+	}
+	// The jump block is always taken.
+	if f, ok := prof.TakenFrac(2); !ok || f != 1 {
+		t.Fatalf("jump taken fraction %v/%v", f, ok)
+	}
+	// Unobserved/out-of-range blocks report absence.
+	if _, ok := prof.TakenFrac(99); ok {
+		t.Fatal("phantom block observed")
+	}
+}
+
+func TestTranslateProfiledFlipsBiasedBranch(t *testing.T) {
+	p := buildBiased(t)
+	prof, err := CollectProfile(p, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Translate(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := TranslateProfiled(p, 2, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heuristic: forward branch predicted not-taken. Profile: taken.
+	if plain.Blocks[0].PredTaken {
+		t.Fatal("heuristic predicted forward branch taken")
+	}
+	if !profiled.Blocks[0].PredTaken {
+		t.Fatal("profile did not flip the biased branch")
+	}
+	// Flipping to predicted-taken replicates the S target instructions.
+	if profiled.Blocks[0].NewLen != plain.Blocks[0].NewLen+plain.Blocks[0].S {
+		t.Fatalf("NewLen %d, want %d", profiled.Blocks[0].NewLen,
+			plain.Blocks[0].NewLen+plain.Blocks[0].S)
+	}
+	if profiled.NewWords <= plain.NewWords-1 {
+		t.Fatal("code size accounting not adjusted")
+	}
+}
+
+func TestTranslateProfiledLayoutConsistent(t *testing.T) {
+	p := buildBiased(t)
+	prof, err := CollectProfile(p, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TranslateProfiled(p, 3, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p.Base
+	for _, proc := range p.Procs {
+		for _, id := range proc.Blocks {
+			if tr.Blocks[id].NewAddr != addr {
+				t.Fatalf("block %d at 0x%x, want 0x%x", id, tr.Blocks[id].NewAddr, addr)
+			}
+			addr += uint32(tr.Blocks[id].NewLen)
+		}
+	}
+	if int(addr-p.Base) != tr.NewWords {
+		t.Fatalf("layout %d words vs NewWords %d", addr-p.Base, tr.NewWords)
+	}
+}
+
+func TestTranslateProfiledNilProfile(t *testing.T) {
+	p := buildBiased(t)
+	a, err := Translate(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TranslateProfiled(p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] {
+			t.Fatalf("nil profile changed block %d", i)
+		}
+	}
+}
+
+func TestProfiledPredictionImprovesAccuracy(t *testing.T) {
+	// On a generated benchmark, profile-guided prediction must mispredict
+	// no more often (by executed CTIs) than the heuristic.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, _ := gen.LookupSpec("espresso")
+	p, err := gen.Build(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := CollectProfile(p, s.Seed+1, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Translate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := TranslateProfiled(p, 1, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both predictors against a fresh execution profile.
+	eval, err := CollectProfile(p, s.Seed+2, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(tr *Translation) (right, total int64) {
+		for id := range p.Blocks {
+			ex := eval.Executions[id]
+			if ex == 0 || !tr.Blocks[id].HasCTI {
+				continue
+			}
+			taken := eval.Takens[id]
+			total += ex
+			if tr.Blocks[id].PredTaken {
+				right += taken
+			} else {
+				right += ex - taken
+			}
+		}
+		return
+	}
+	hr, ht := score(plain)
+	pr, pt := score(profiled)
+	if ht != pt {
+		t.Fatalf("different CTI totals %d vs %d", ht, pt)
+	}
+	heur := float64(hr) / float64(ht)
+	profAcc := float64(pr) / float64(pt)
+	if profAcc < heur-0.002 {
+		t.Fatalf("profiled accuracy %.4f below heuristic %.4f", profAcc, heur)
+	}
+}

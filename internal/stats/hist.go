@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hist is an integer-valued histogram with a fixed number of bins plus an
+// overflow bin. Bin i counts observations of value i; observations >= Bins
+// land in the overflow bin. It is used for the epsilon (load dependency
+// distance) distributions of Figures 6 and 7.
+type Hist struct {
+	counts   []uint64
+	overflow uint64
+	total    uint64
+}
+
+// NewHist returns a histogram with bins for values 0..bins-1.
+func NewHist(bins int) *Hist {
+	if bins <= 0 {
+		panic("stats: NewHist with non-positive bin count")
+	}
+	return &Hist{counts: make([]uint64, bins)}
+}
+
+// Add records one observation of value v. Negative values are clamped to 0.
+func (h *Hist) Add(v int) {
+	h.AddN(v, 1)
+}
+
+// AddN records n observations of value v.
+func (h *Hist) AddN(v int, n uint64) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		h.overflow += n
+	} else {
+		h.counts[v] += n
+	}
+	h.total += n
+}
+
+// Bins returns the number of non-overflow bins.
+func (h *Hist) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin v; values beyond the last bin report the
+// overflow count.
+func (h *Hist) Count(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.counts) {
+		return h.overflow
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations recorded.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Frac returns the fraction of observations in bin v (overflow for
+// v >= Bins). It returns 0 when the histogram is empty.
+func (h *Hist) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// FracAtLeast returns the fraction of observations with value >= v.
+func (h *Hist) FracAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	var c uint64
+	for i := v; i < len(h.counts); i++ {
+		c += h.counts[i]
+	}
+	c += h.overflow
+	return float64(c) / float64(h.total)
+}
+
+// CDF returns the cumulative fraction of observations with value <= v.
+func (h *Hist) CDF(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < 0 {
+		return 0
+	}
+	var c uint64
+	for i := 0; i <= v && i < len(h.counts); i++ {
+		c += h.counts[i]
+	}
+	if v >= len(h.counts) {
+		c += h.overflow
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Mean returns the arithmetic mean of the observations, counting every
+// overflow observation as exactly Bins (a lower bound on the true mean).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for v, c := range h.counts {
+		sum += uint64(v) * c
+	}
+	sum += uint64(len(h.counts)) * h.overflow
+	return float64(sum) / float64(h.total)
+}
+
+// Merge adds the contents of other into h. Both histograms must have the
+// same number of bins.
+func (h *Hist) Merge(other *Hist) error {
+	if len(h.counts) != len(other.counts) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bins", len(h.counts), len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.overflow += other.overflow
+	h.total += other.total
+	return nil
+}
+
+// String renders the histogram as "v:frac" pairs, with ">=Bins" for the
+// overflow bin, e.g. "0:0.04 1:0.11 2:0.05 >=3:0.80".
+func (h *Hist) String() string {
+	var b strings.Builder
+	for v := range h.counts {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.3f", v, h.Frac(v))
+	}
+	fmt.Fprintf(&b, " >=%d:%.3f", len(h.counts), h.Frac(len(h.counts)))
+	return b.String()
+}

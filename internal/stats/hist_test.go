@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasic(t *testing.T) {
+	h := NewHist(4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.Add(5) // overflow
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 1 || h.Count(1) != 2 || h.Count(2) != 0 {
+		t.Fatalf("unexpected counts: %d %d %d", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if h.Count(4) != 1 || h.Count(99) != 1 {
+		t.Fatalf("overflow count wrong: %d", h.Count(4))
+	}
+	if !almostEqual(h.Frac(1), 0.5, 1e-12) {
+		t.Fatalf("Frac(1) = %g", h.Frac(1))
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist(3)
+	h.Add(-5)
+	if h.Count(0) != 1 {
+		t.Fatalf("negative value not clamped to bin 0")
+	}
+}
+
+func TestHistFracAtLeast(t *testing.T) {
+	h := NewHist(4)
+	h.AddN(0, 4)
+	h.AddN(1, 3)
+	h.AddN(2, 2)
+	h.AddN(7, 1) // overflow
+	if !almostEqual(h.FracAtLeast(0), 1.0, 1e-12) {
+		t.Fatalf("FracAtLeast(0) = %g", h.FracAtLeast(0))
+	}
+	if !almostEqual(h.FracAtLeast(1), 0.6, 1e-12) {
+		t.Fatalf("FracAtLeast(1) = %g", h.FracAtLeast(1))
+	}
+	if !almostEqual(h.FracAtLeast(3), 0.1, 1e-12) {
+		t.Fatalf("FracAtLeast(3) = %g", h.FracAtLeast(3))
+	}
+}
+
+func TestHistCDFComplementsFracAtLeast(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		h := NewHist(8)
+		n := r.Range(1, 200)
+		for i := 0; i < n; i++ {
+			h.Add(r.Intn(12))
+		}
+		for v := 0; v < 8; v++ {
+			if !almostEqual(h.CDF(v-1)+h.FracAtLeast(v), 1.0, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistCDFMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		h := NewHist(6)
+		for i := 0; i < 100; i++ {
+			h.Add(r.Intn(10))
+		}
+		prev := -1.0
+		for v := 0; v <= 6; v++ {
+			c := h.CDF(v)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return h.CDF(6) == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	h := NewHist(10)
+	h.AddN(2, 3)
+	h.AddN(4, 1)
+	if !almostEqual(h.Mean(), 2.5, 1e-12) {
+		t.Fatalf("Mean = %g, want 2.5", h.Mean())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(4)
+	b := NewHist(4)
+	a.Add(1)
+	b.Add(1)
+	b.Add(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(1) != 2 || a.Count(4) != 1 || a.Total() != 3 {
+		t.Fatalf("merge wrong: count1=%d overflow=%d total=%d", a.Count(1), a.Count(4), a.Total())
+	}
+	c := NewHist(5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging mismatched bins should error")
+	}
+}
+
+func TestHistString(t *testing.T) {
+	h := NewHist(2)
+	h.Add(0)
+	h.Add(3)
+	s := h.String()
+	if !strings.Contains(s, "0:0.500") || !strings.Contains(s, ">=2:0.500") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(3)
+	if h.Frac(0) != 0 || h.FracAtLeast(0) != 0 || h.CDF(2) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}

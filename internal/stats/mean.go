@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedHarmonicMean returns the weighted harmonic mean of values with the
+// given weights. The paper reports CPI as the weighted harmonic mean over
+// benchmarks, weighted by each benchmark's fraction of total execution time.
+//
+// It returns an error if the slices differ in length, are empty, or contain
+// non-positive values/weights (the harmonic mean is undefined there).
+func WeightedHarmonicMean(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: harmonic mean of empty set")
+	}
+	var wsum, inv float64
+	for i, v := range values {
+		w := weights[i]
+		if v <= 0 {
+			return 0, fmt.Errorf("stats: non-positive value %g at index %d", v, i)
+		}
+		if w < 0 {
+			return 0, fmt.Errorf("stats: negative weight %g at index %d", w, i)
+		}
+		wsum += w
+		inv += w / v
+	}
+	if wsum <= 0 {
+		return 0, fmt.Errorf("stats: weights sum to zero")
+	}
+	return wsum / inv, nil
+}
+
+// WeightedArithmeticMean returns the weighted arithmetic mean of values.
+func WeightedArithmeticMean(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty set")
+	}
+	var wsum, acc float64
+	for i, v := range values {
+		w := weights[i]
+		if w < 0 {
+			return 0, fmt.Errorf("stats: negative weight %g at index %d", w, i)
+		}
+		wsum += w
+		acc += w * v
+	}
+	if wsum <= 0 {
+		return 0, fmt.Errorf("stats: weights sum to zero")
+	}
+	return acc / wsum, nil
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// GeometricMean returns the geometric mean of positive values, or an error
+// if any value is non-positive or the slice is empty.
+func GeometricMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty set")
+	}
+	var logsum float64
+	for i, v := range values {
+		if v <= 0 {
+			return 0, fmt.Errorf("stats: non-positive value %g at index %d", v, i)
+		}
+		logsum += math.Log(v)
+	}
+	return math.Exp(logsum / float64(len(values))), nil
+}
+
+// StdDev returns the population standard deviation of values, or 0 for
+// fewer than two values.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of values using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. The input is not modified.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

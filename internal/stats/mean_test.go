@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWeightedHarmonicMeanEqualWeights(t *testing.T) {
+	// HM of 1 and 3 with equal weights is 1.5.
+	got, err := WeightedHarmonicMean([]float64{1, 3}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("got %g, want 1.5", got)
+	}
+}
+
+func TestWeightedHarmonicMeanSingle(t *testing.T) {
+	got, err := WeightedHarmonicMean([]float64{2.5}, []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("got %g, want 2.5", got)
+	}
+}
+
+func TestWeightedHarmonicMeanWeighting(t *testing.T) {
+	// All weight on the second value.
+	got, err := WeightedHarmonicMean([]float64{1, 4}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("got %g, want 4", got)
+	}
+}
+
+func TestWeightedHarmonicMeanErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		weights []float64
+	}{
+		{"mismatched", []float64{1, 2}, []float64{1}},
+		{"empty", nil, nil},
+		{"zero value", []float64{0, 1}, []float64{1, 1}},
+		{"negative value", []float64{-1, 1}, []float64{1, 1}},
+		{"negative weight", []float64{1, 1}, []float64{-1, 1}},
+		{"zero weights", []float64{1, 1}, []float64{0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := WeightedHarmonicMean(c.values, c.weights); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestHarmonicLeqArithmeticProperty(t *testing.T) {
+	// AM-HM inequality: harmonic mean never exceeds arithmetic mean.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := r.Range(1, 20)
+		vals := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*10 + 0.1
+			ws[i] = r.Float64() + 0.01
+		}
+		hm, err1 := WeightedHarmonicMean(vals, ws)
+		am, err2 := WeightedArithmeticMean(vals, ws)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return hm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHarmonicMeanBoundsProperty(t *testing.T) {
+	// The mean lies within [min, max] of the values.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := r.Range(1, 20)
+		vals := make([]float64, n)
+		ws := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vals {
+			vals[i] = r.Float64()*10 + 0.1
+			ws[i] = r.Float64() + 0.01
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		hm, err := WeightedHarmonicMean(vals, ws)
+		if err != nil {
+			return false
+		}
+		return hm >= lo-1e-9 && hm <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedArithmeticMean(t *testing.T) {
+	got, err := WeightedArithmeticMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("got %g, want 2.5", got)
+	}
+}
+
+func TestGeometricMeanExact(t *testing.T) {
+	got, err := GeometricMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4, 1e-9) {
+		t.Fatalf("got %g, want 4", got)
+	}
+}
+
+func TestGeometricMeanErrors(t *testing.T) {
+	if _, err := GeometricMean(nil); err == nil {
+		t.Error("empty: expected error")
+	}
+	if _, err := GeometricMean([]float64{1, 0}); err == nil {
+		t.Error("zero: expected error")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vals); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if sd := StdDev(vals); !almostEqual(sd, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", sd)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %g", m)
+	}
+	if sd := StdDev([]float64{1}); sd != 0 {
+		t.Fatalf("StdDev(single) = %g", sd)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}

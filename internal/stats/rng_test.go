@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("generators with different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGZeroValueUsable(t *testing.T) {
+	var r RNG
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-value RNG repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(3)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %g", frac)
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRNG(11)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.Range(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("Range(3,6) = %d", v)
+		}
+		if v == 3 {
+			seenLo = true
+		}
+		if v == 6 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatalf("Range endpoints not both reached: lo=%v hi=%v", seenLo, seenHi)
+	}
+}
+
+func TestGeometricMean_Distribution(t *testing.T) {
+	r := NewRNG(17)
+	const p = 0.25
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // 3.0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%g) mean = %g, want ~%g", p, mean, want)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := NewRNG(23)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick weight %d frequency = %g, want ~%g", i, got, want)
+		}
+	}
+}
+
+func TestPickZeroWeightNeverChosen(t *testing.T) {
+	r := NewRNG(29)
+	w := []float64{0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		if got := r.Pick(w); got != 1 {
+			t.Fatalf("Pick chose zero-weight index %d", got)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(31)
+	child := parent.Split()
+	// The child should not replay the parent's upcoming values.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split generator matched parent %d times", same)
+	}
+}
+
+func TestIntnUniformProperty(t *testing.T) {
+	// Property: for any seed, Intn(n) stays in range.
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%64) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

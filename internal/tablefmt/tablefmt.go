@@ -1,0 +1,215 @@
+// Package tablefmt renders the experiment results as aligned ASCII tables
+// and simple text charts, the output format of the benchmark harness.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v, floats with 3 decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// RowStrings appends a pre-formatted row.
+func (t *Table) RowStrings(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		// Trim trailing padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		var rule []string
+		for i := 0; i < cols; i++ {
+			rule = append(rule, strings.Repeat("-", widths[i]))
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one line of a Chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart renders families of curves (the paper's figures) as a data table
+// plus an ASCII plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Add appends a series; its Y values must align with X.
+func (c *Chart) Add(name string, y []float64) error {
+	if len(y) != len(c.X) {
+		return fmt.Errorf("tablefmt: series %q has %d points for %d x-values", name, len(y), len(c.X))
+	}
+	c.Series = append(c.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// String renders the chart: a column-per-series data table followed by an
+// ASCII plot.
+func (c *Chart) String() string {
+	headers := []string{c.XLabel}
+	for _, s := range c.Series {
+		headers = append(headers, s.Name)
+	}
+	t := New(c.Title, headers...)
+	for i, x := range c.X {
+		cells := []any{trimFloat(x)}
+		for _, s := range c.Series {
+			cells = append(cells, s.Y[i])
+		}
+		t.Row(cells...)
+	}
+	return t.String() + c.plot()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+// plot renders an ASCII scatter of all series (marker per series).
+func (c *Chart) plot() string {
+	const width, height = 60, 16
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return ""
+	}
+	minX, maxX := c.X[0], c.X[0]
+	for _, x := range c.X {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	minY, maxY := c.Series[0].Y[0], c.Series[0].Y[0]
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := "*+ox#@%&"
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i, x := range c.X {
+			px := int((x - minX) / (maxX - minX) * float64(width-1))
+			py := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - py
+			grid[row][px] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%s (y: %.3g..%.3g)\n", c.YLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "  %s: %.3g..%.3g   legend:", c.XLabel, minX, maxX)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+	// Columns aligned: "a" padded to width of "longer".
+	if !strings.HasPrefix(lines[3], "a       1") {
+		t.Fatalf("row alignment: %q", lines[3])
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tb := New("")
+	tb.RowStrings("x", "y")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatalf("leading blank line: %q", out)
+	}
+	if !strings.Contains(out, "x  y") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Row("1")
+	tb.Row("1", "2", "3", "4")
+	out := tb.String()
+	if !strings.Contains(out, "4") {
+		t.Fatalf("extra cell dropped: %q", out)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{Title: "Fig", XLabel: "size", YLabel: "cpi", X: []float64{1, 2, 4}}
+	if err := c.Add("b=0", []float64{1.5, 1.2, 1.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("b=1", []float64{1.6, 1.3, 1.15}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	for _, want := range []string{"Fig", "size", "b=0", "b=1", "1.500", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRejectsMismatchedSeries(t *testing.T) {
+	c := &Chart{X: []float64{1, 2}}
+	if err := c.Add("bad", []float64{1}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestChartEmptySafe(t *testing.T) {
+	c := &Chart{Title: "empty", XLabel: "x", YLabel: "y"}
+	if out := c.String(); out == "" {
+		t.Fatal("no output at all")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Title: "const", XLabel: "x", YLabel: "y", X: []float64{1, 2}}
+	c.Add("flat", []float64{3.5, 3.5})
+	if out := c.String(); !strings.Contains(out, "3.500") {
+		t.Fatalf("constant series broken: %q", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4) != "4" || trimFloat(2.5) != "2.50" {
+		t.Fatal("trimFloat formatting")
+	}
+}

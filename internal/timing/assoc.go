@@ -1,0 +1,67 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Set-associativity extension. The paper's evaluation keeps the L1
+// direct-mapped for speed, but its conclusion conjectures that pipelined
+// caches change the size-versus-associativity tradeoff: "if tCPU is less
+// dependent on the access time of pipelined L1 caches, then increasing the
+// associativity of the cache to lower the miss ratio will have a larger
+// performance benefit for pipelined caches." This file models the access
+// time of associative caches so the conjecture can be evaluated
+// (core.AssocStudy).
+
+// AssocOverheadNs is the extra access time per doubling of associativity:
+// the way-select multiplexer and the wider tag comparison sit on the data
+// path of a set-associative SRAM cache. The value is in line with
+// published CACTI-class models scaled to the study's GaAs technology.
+const AssocOverheadNs = 0.45
+
+// CacheAccessAssocNs returns t_L1 for one cache side with the given
+// associativity: the direct-mapped access time of Equation 6 plus the
+// way-selection overhead, log2(assoc) times AssocOverheadNs.
+func (m Model) CacheAccessAssocNs(sizeKW, assoc int) (float64, error) {
+	if assoc <= 0 || assoc&(assoc-1) != 0 {
+		return 0, fmt.Errorf("timing: associativity %d must be a positive power of two", assoc)
+	}
+	return m.CacheAccessNs(sizeKW) + float64(log2(assoc))*AssocOverheadNs, nil
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TCPUAssoc returns the minimum cycle time with an assoc-way L1 side,
+// found by the same timing analysis as TCPU.
+func (m Model) TCPUAssoc(sizeKW, depth, assoc int) (float64, error) {
+	tl1, err := m.CacheAccessAssocNs(sizeKW, assoc)
+	if err != nil {
+		return 0, err
+	}
+	// Rebuild the graph with the associative access time by scaling the
+	// model's SRAM time (the analyzer only sees the total).
+	scaled := m
+	scaled.SRAM.AccessNs = m.SRAM.AccessNs + (tl1 - m.CacheAccessNs(sizeKW))
+	return scaled.TCPU(sizeKW, depth)
+}
+
+// TCPUSplitAssoc is TCPUSplit for associative sides.
+func (m Model) TCPUSplitAssoc(iSizeKW, iDepth, iAssoc, dSizeKW, dDepth, dAssoc int) (float64, error) {
+	ti, err := m.TCPUAssoc(iSizeKW, iDepth, iAssoc)
+	if err != nil {
+		return 0, err
+	}
+	td, err := m.TCPUAssoc(dSizeKW, dDepth, dAssoc)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(ti, td), nil
+}

@@ -1,0 +1,31 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCircuit: arbitrary circuit text must never panic, and parsed
+// circuits must analyze without panicking.
+func FuzzParseCircuit(f *testing.F) {
+	f.Add("latch a\npath a a 3.5")
+	f.Add("latch a\nlatch b\npath a b 5\npath b a 1")
+	f.Add("# empty")
+	f.Add("path a b 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return // bound the Karp O(V*E) work
+		}
+		g, err := ParseCircuit(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if g.Latches() > 64 {
+			return
+		}
+		p, err := g.MinPeriod()
+		if err == nil && p < 0 {
+			t.Fatalf("negative period %g", p)
+		}
+	})
+}

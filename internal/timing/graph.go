@@ -1,0 +1,114 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a latch-level timing graph for minimum-cycle-time analysis: the
+// in-memory analogue of the circuits the paper's minTcpu analyzer [SMO90]
+// processed. Nodes are level-sensitive latches; a directed edge carries the
+// combinational delay between two latches plus the latch overhead.
+//
+// With ideal multiphase clocking, transparent latches let a long stage
+// borrow time from its neighbours, so the minimum feasible clock period of
+// the circuit is the maximum over all cycles of (total delay around the
+// cycle) / (number of latches in the cycle) — the maximum cycle mean, which
+// MinPeriod computes with Karp's algorithm. This is exactly why the paper's
+// optimized clocking makes tCPU grow by 1/(d+1) per unit of cache access
+// time: the cache loop's mean is (t_addr + t_L1)/(d_L1 + 1).
+type Graph struct {
+	names []string
+	edges []edge
+}
+
+type edge struct {
+	from, to int
+	delay    float64
+}
+
+// AddLatch adds a latch node and returns its index.
+func (g *Graph) AddLatch(name string) int {
+	g.names = append(g.names, name)
+	return len(g.names) - 1
+}
+
+// AddPath adds a combinational path of the given delay (ns) from one latch
+// to another. Delays must be non-negative.
+func (g *Graph) AddPath(from, to int, delayNs float64) error {
+	if from < 0 || from >= len(g.names) || to < 0 || to >= len(g.names) {
+		return fmt.Errorf("timing: path endpoints %d->%d out of range", from, to)
+	}
+	if delayNs < 0 || math.IsNaN(delayNs) {
+		return fmt.Errorf("timing: negative delay %g", delayNs)
+	}
+	g.edges = append(g.edges, edge{from, to, delayNs})
+	return nil
+}
+
+// Latches returns the number of latch nodes.
+func (g *Graph) Latches() int { return len(g.names) }
+
+// MinPeriod returns the minimum clock period of the circuit under ideal
+// multiphase clocking: the maximum cycle mean of the delay graph. It
+// returns an error if the graph has no cycle (a feed-forward circuit has no
+// period constraint from this analysis).
+func (g *Graph) MinPeriod() (float64, error) {
+	n := len(g.names)
+	if n == 0 || len(g.edges) == 0 {
+		return 0, fmt.Errorf("timing: empty graph")
+	}
+
+	// Karp's algorithm for maximum mean cycle. dp[k][v] = maximum weight
+	// of any k-edge walk ending at v (from any start, implemented by
+	// initializing dp[0] to 0 everywhere, which is the standard
+	// all-sources variant and finds the max mean cycle reachable
+	// anywhere).
+	negInf := math.Inf(-1)
+	dp := make([][]float64, n+1)
+	for k := range dp {
+		dp[k] = make([]float64, n)
+		for v := range dp[k] {
+			if k == 0 {
+				dp[k][v] = 0
+			} else {
+				dp[k][v] = negInf
+			}
+		}
+	}
+	for k := 1; k <= n; k++ {
+		for _, e := range g.edges {
+			if dp[k-1][e.from] == negInf {
+				continue
+			}
+			if w := dp[k-1][e.from] + e.delay; w > dp[k][e.to] {
+				dp[k][e.to] = w
+			}
+		}
+	}
+
+	best := negInf
+	for v := 0; v < n; v++ {
+		if dp[n][v] == negInf {
+			continue
+		}
+		// min over k of (dp[n][v] - dp[k][v]) / (n - k)
+		worst := math.Inf(1)
+		for k := 0; k < n; k++ {
+			if dp[k][v] == negInf {
+				continue
+			}
+			m := (dp[n][v] - dp[k][v]) / float64(n-k)
+			if m < worst {
+				worst = m
+			}
+		}
+		if worst > best {
+			best = worst
+		}
+	}
+	if best == negInf {
+		return 0, fmt.Errorf("timing: graph has no cycle")
+	}
+	return best, nil
+}

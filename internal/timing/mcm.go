@@ -1,0 +1,98 @@
+// Package timing implements Section 4 of the paper: the macro-model for
+// the access time of an MCM-mounted GaAs SRAM primary cache (Equations
+// 3-6, Figure 10), and the minTcpu-style timing analyzer that turns cache
+// access times and pipeline depths into minimum CPU cycle times with
+// optimized multiphase clocking (Table 6).
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MCM holds the electrical and geometric parameters of the multichip
+// module interconnect (Equations 4-5).
+type MCM struct {
+	// Z0Ohms is the characteristic impedance of the MCM interconnect.
+	Z0Ohms float64
+	// ChipPF is the parasitic capacitance (pF) of the bonding method and
+	// pad attaching each chip to the MCM (the C_MCM of the first term of
+	// Eq. 5).
+	ChipPF float64
+	// ROhmsPerCm and CPFPerCm are the interconnect resistance and
+	// capacitance per unit length.
+	ROhmsPerCm float64
+	CPFPerCm   float64
+	// PitchCm is d: the average of the horizontal and vertical chip
+	// pitches including adjacent wiring channels.
+	PitchCm float64
+	// K0Ns is the constant off-chip driver and receiver delay (the k0 of
+	// Eq. 4).
+	K0Ns float64
+}
+
+// K1Ns returns k1, the interconnect delay per chip in nanoseconds
+// (Equation 5):
+//
+//	k1 = Z0*C_chip + 2*d^2*R_MCM*C_MCM
+//
+// The first term is the lumped parasitic of one chip attach; the second is
+// the distributed RC of the wiring, whose length grows with the square root
+// of the chip count so its squared-length delay grows linearly in n.
+func (m MCM) K1Ns() float64 {
+	lumped := m.Z0Ohms * m.ChipPF * 1e-3 // ohm*pF = ps; to ns
+	rc := 2 * m.PitchCm * m.PitchCm * m.ROhmsPerCm * m.CPFPerCm * 1e-3
+	return lumped + rc
+}
+
+// OneWayNs returns t_MCM for a cache of n chips (Equation 4):
+// k0 + k1*n.
+func (m MCM) OneWayNs(chips int) float64 {
+	return m.K0Ns + m.K1Ns()*float64(chips)
+}
+
+// RoundTripNs returns 2*t_MCM, the CPU-to-cache-and-back interconnect
+// component of Equation 3.
+func (m MCM) RoundTripNs(chips int) float64 {
+	return 2 * m.OneWayNs(chips)
+}
+
+// Validate checks physical plausibility.
+func (m MCM) Validate() error {
+	if m.Z0Ohms <= 0 || m.ChipPF <= 0 || m.ROhmsPerCm < 0 || m.CPFPerCm <= 0 || m.PitchCm <= 0 || m.K0Ns < 0 {
+		return fmt.Errorf("timing: non-physical MCM parameters %+v", m)
+	}
+	return nil
+}
+
+// Floorplan is the Figure 10 geometry: n SRAM chips packed into a
+// roughly sqrt(n/2) x sqrt(2n) rectangle with the CPU at the middle of the
+// long side, which minimizes the longest CPU-to-chip wire.
+type Floorplan struct {
+	Chips     int
+	Rows      int // short side (depth away from the CPU)
+	Cols      int // long side
+	MaxWireCm float64
+}
+
+// PlanFloor computes the floorplan for n chips with the given pitch.
+func PlanFloor(chips int, pitchCm float64) Floorplan {
+	if chips <= 0 {
+		return Floorplan{}
+	}
+	rows := int(math.Round(math.Sqrt(float64(chips) / 2)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols := (chips + rows - 1) / rows
+	// The farthest chip sits at the end of the long side, rows deep:
+	// horizontal cols/2 pitches, vertical rows pitches.
+	h := float64(cols) / 2 * pitchCm
+	v := float64(rows) * pitchCm
+	return Floorplan{
+		Chips:     chips,
+		Rows:      rows,
+		Cols:      cols,
+		MaxWireCm: math.Sqrt(h*h + v*v),
+	}
+}

@@ -1,0 +1,193 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// SRAM describes the GaAs cache SRAM chips.
+type SRAM struct {
+	// ChipKW is the usable capacity of one chip in K-words, including the
+	// tag bits.
+	ChipKW int
+	// AccessNs is the on-chip access time t_SRAM of Equation 3, with the
+	// chip's address and data registers already accounted for in the
+	// latch overhead of the timing model.
+	AccessNs float64
+}
+
+// Model bundles the technology parameters of the study: the SRAM and MCM
+// macro-models plus the GaAs datapath delays the paper reports (2.1 ns
+// integer add, 1.4 ns ALU feedback, giving the 3.5 ns cycle floor).
+type Model struct {
+	SRAM SRAM
+	MCM  MCM
+
+	// ALUAddNs is the integer addition delay (also the address-generation
+	// delay of the cache access path).
+	ALUAddNs float64
+	// ALUFeedbackNs is the result-forwarding delay back to the ALU input.
+	ALUFeedbackNs float64
+	// LatchNs is the overhead of one pipeline latch.
+	LatchNs float64
+	// DriveNs is the delay from the address latch onto the MCM (already
+	// part of the round-trip in Equation 3; kept separate for the
+	// analyzer's address-generation stage).
+	DriveNs float64
+}
+
+// DefaultModel returns the calibrated technology model. The constants are
+// chosen so the analyzer reproduces the paper's anchor points: a 2.1 ns
+// add, a 3.5 ns ALU-loop cycle floor, unpipelined (depth-0) cache cycle
+// times above 10 ns, and depth-3 pipelines that are ALU-limited at every
+// cache size from 1 to 32 KW per side.
+func DefaultModel() Model {
+	return Model{
+		SRAM: SRAM{ChipKW: 1, AccessNs: 6.0},
+		MCM: MCM{
+			Z0Ohms:     50,
+			ChipPF:     0.7,
+			ROhmsPerCm: 0.8,
+			CPFPerCm:   1.4,
+			PitchCm:    1.4,
+			K0Ns:       1.0,
+		},
+		ALUAddNs:      2.1,
+		ALUFeedbackNs: 1.4,
+		LatchNs:       0.3,
+		DriveNs:       0.0,
+	}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.SRAM.ChipKW <= 0 || m.SRAM.AccessNs <= 0 {
+		return fmt.Errorf("timing: bad SRAM %+v", m.SRAM)
+	}
+	if err := m.MCM.Validate(); err != nil {
+		return err
+	}
+	if m.ALUAddNs <= 0 || m.ALUFeedbackNs < 0 || m.LatchNs < 0 || m.DriveNs < 0 {
+		return fmt.Errorf("timing: bad datapath delays")
+	}
+	return nil
+}
+
+// Chips returns the SRAM chip count of a cache of sizeKW K-words.
+func (m Model) Chips(sizeKW int) int {
+	if sizeKW <= 0 {
+		return 0
+	}
+	return (sizeKW + m.SRAM.ChipKW - 1) / m.SRAM.ChipKW
+}
+
+// CacheAccessNs returns t_L1 for one side of the L1 cache (Equation 6):
+//
+//	t_L1 = t_SRAM + 2*(k0 + k1*n)
+func (m Model) CacheAccessNs(sizeKW int) float64 {
+	if sizeKW <= 0 {
+		return 0
+	}
+	return m.SRAM.AccessNs + m.MCM.RoundTripNs(m.Chips(sizeKW))
+}
+
+// ALULoopNs returns the cycle floor set by the ALU feedback loop.
+func (m Model) ALULoopNs() float64 {
+	return m.ALUAddNs + m.ALUFeedbackNs
+}
+
+// CPUGraph builds the latch-level timing graph of the processor's critical
+// loops for one cache side: the ALU feedback loop and the circular
+// address-generation + cache-access pipeline of Figure 1, with the cache
+// access split into depth segments by pipeline latches. depth 0 means the
+// cache is accessed combinationally in the same stage as address
+// generation.
+func (m Model) CPUGraph(sizeKW, depth int) (*Graph, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("timing: negative depth")
+	}
+	if sizeKW <= 0 {
+		return nil, fmt.Errorf("timing: non-positive cache size")
+	}
+	g := &Graph{}
+
+	// ALU feedback loop: one latch, add + forward back to itself. The
+	// paper's 1.4 ns feedback delay already includes the result latch, so
+	// no extra overhead is charged here.
+	alu := g.AddLatch("alu")
+	if err := g.AddPath(alu, alu, m.ALUAddNs+m.ALUFeedbackNs); err != nil {
+		return nil, err
+	}
+
+	// Cache loop: register file/address latch -> (address generation +
+	// cache access over depth+... ) -> back. With depth d there are d
+	// latches inside the access path, so the loop holds d+1 latches.
+	tl1 := m.CacheAccessNs(sizeKW)
+	regs := g.AddLatch("agen")
+	prev := regs
+	if depth == 0 {
+		if err := g.AddPath(regs, regs, m.ALUAddNs+m.DriveNs+tl1+m.LatchNs); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	seg := tl1 / float64(depth)
+	for i := 0; i < depth; i++ {
+		l := g.AddLatch(fmt.Sprintf("cache%d", i))
+		d := seg + m.LatchNs
+		if i == 0 {
+			d += m.ALUAddNs + m.DriveNs
+		}
+		if err := g.AddPath(prev, l, d); err != nil {
+			return nil, err
+		}
+		prev = l
+	}
+	if err := g.AddPath(prev, regs, m.LatchNs); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// TCPU returns the minimum CPU cycle time for one cache side of sizeKW
+// K-words accessed over depth pipeline stages, as found by the timing
+// analyzer over the critical loops.
+func (m Model) TCPU(sizeKW, depth int) (float64, error) {
+	g, err := m.CPUGraph(sizeKW, depth)
+	if err != nil {
+		return 0, err
+	}
+	return g.MinPeriod()
+}
+
+// TCPUSplit returns the system cycle time for a split L1: the maximum of
+// the two sides' cycle times (Section 5: "we take the maximum tCPU of
+// each as the new system cycle time").
+func (m Model) TCPUSplit(iSizeKW, iDepth, dSizeKW, dDepth int) (float64, error) {
+	ti, err := m.TCPU(iSizeKW, iDepth)
+	if err != nil {
+		return 0, err
+	}
+	td, err := m.TCPU(dSizeKW, dDepth)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(ti, td), nil
+}
+
+// Table6 returns the optimal cycle times (ns) for every (cache size, depth)
+// pair: rows follow sizes, columns follow depths.
+func (m Model) Table6(sizesKW, depths []int) ([][]float64, error) {
+	out := make([][]float64, len(sizesKW))
+	for i, s := range sizesKW {
+		out[i] = make([]float64, len(depths))
+		for j, d := range depths {
+			t, err := m.TCPU(s, d)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = t
+		}
+	}
+	return out, nil
+}

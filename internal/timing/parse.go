@@ -1,0 +1,71 @@
+package timing
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCircuit reads a textual latch-level circuit description and returns
+// its timing graph — the input format of the cmd/mintcpu tool, standing in
+// for the netlists the paper's minTcpu analyzer consumed.
+//
+// The format is line-oriented:
+//
+//	# comment
+//	latch <name>
+//	path <from> <to> <delay-ns>
+//
+// Latches must be declared before paths reference them.
+func ParseCircuit(r io.Reader) (*Graph, error) {
+	g := &Graph{}
+	names := map[string]int{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "latch":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: latch wants one name", lineNo)
+			}
+			name := fields[1]
+			if _, dup := names[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate latch %q", lineNo, name)
+			}
+			names[name] = g.AddLatch(name)
+		case "path":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: path wants <from> <to> <delay>", lineNo)
+			}
+			from, ok := names[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown latch %q", lineNo, fields[1])
+			}
+			to, ok := names[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown latch %q", lineNo, fields[2])
+			}
+			d, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad delay %q: %v", lineNo, fields[3], err)
+			}
+			if err := g.AddPath(from, to, d); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the reader; valid prefixes
+// must parse cleanly.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Ref{IFetch, 1, 0x1234})
+	w.Write(Ref{Store, 63, 0xffffffff})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("PCT1"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			ref, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if ref.Kind > Store || ref.PID > maxPID {
+				t.Fatalf("reader produced invalid record %+v", ref)
+			}
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package trace
+
+import (
+	"testing"
+
+	"pipecache/internal/interp"
+	"pipecache/internal/program"
+	"pipecache/internal/sched"
+)
+
+func schedTranslate(p *program.Program, b int) (*sched.Translation, error) {
+	return sched.Translate(p, b)
+}
+
+func mustInterp(t *testing.T, p *program.Program, seed uint64) *interp.Interp {
+	t.Helper()
+	it, err := interp.New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"io"
+
+	"pipecache/internal/cache"
+)
+
+// ReplayStats summarizes a trace replay.
+type ReplayStats struct {
+	Refs     uint64
+	IFetches uint64
+	Loads    uint64
+	Stores   uint64
+}
+
+// Replay runs every record of the trace through the given instruction and
+// data caches (either may be nil) and returns the reference counts; the
+// caches accumulate their own hit/miss statistics.
+func Replay(r *Reader, icache, dcache *cache.Cache) (ReplayStats, error) {
+	var st ReplayStats
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Refs++
+		switch ref.Kind {
+		case IFetch:
+			st.IFetches++
+			if icache != nil {
+				icache.Access(ref.Addr, false)
+			}
+		case Load:
+			st.Loads++
+			if dcache != nil {
+				dcache.Access(ref.Addr, false)
+			}
+		case Store:
+			st.Stores++
+			if dcache != nil {
+				dcache.Access(ref.Addr, true)
+			}
+		}
+	}
+}
+
+// Mix interleaves several single-process traces into one multiprogrammed
+// trace, quantum records from each source in rotation, until every source
+// is exhausted. It mirrors how the paper built multiprogramming traces from
+// per-benchmark traces.
+func Mix(w *Writer, quantum int, sources ...*Reader) error {
+	done := make([]bool, len(sources))
+	active := len(sources)
+	for active > 0 {
+		for i, src := range sources {
+			if done[i] {
+				continue
+			}
+			for n := 0; n < quantum; n++ {
+				ref, err := src.Read()
+				if err == io.EOF {
+					done[i] = true
+					active--
+					break
+				}
+				if err != nil {
+					return err
+				}
+				if err := w.Write(ref); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return w.Flush()
+}
