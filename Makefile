@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations clean
+.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations metrics golden clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/cpisim/ .
+	$(GO) test -race ./...
 
 # One iteration of every paper table/figure benchmark plus microbenches.
 bench:
@@ -43,6 +43,15 @@ sweep:
 
 ablations:
 	$(GO) run ./cmd/pipecache ablations
+
+# Instrumented smoke run: a small sweep with the observability layer on,
+# printing the metrics snapshot.
+metrics:
+	$(GO) run ./cmd/pipecache metrics -insts 100000 -benchmarks gcc,yacc
+
+# Regenerate the golden files after an intended behaviour change.
+golden:
+	$(GO) test ./internal/core -run TestGolden -update
 
 clean:
 	$(GO) clean ./...

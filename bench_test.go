@@ -330,6 +330,41 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkSimInstrumented is BenchmarkSimulatorThroughput with a metrics
+// registry attached: the delta between the two insts/s figures is the cost
+// of observability. The hot loop keeps its plain per-pass stats structs and
+// folds them into the registry once at the end of Run, so the delta should
+// be in the noise (see TestInstrumentationOverhead).
+func BenchmarkSimInstrumented(b *testing.B) {
+	spec, _ := LookupBenchmark("espresso")
+	prog, err := BuildProgram(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SimConfig{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	reg := NewRegistry()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(cfg, []Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.SetObs(reg)
+		res, err := sim.Run(200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Benches[0].Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
 // BenchmarkCacheAccess measures the raw cache model.
 func BenchmarkCacheAccess(b *testing.B) {
 	c, err := NewCache(CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 2, WriteBack: true})

@@ -4,11 +4,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pipecache/internal/core"
 	"pipecache/internal/cpisim"
 	"pipecache/internal/gen"
 	"pipecache/internal/interp"
+	"pipecache/internal/obs"
 	"pipecache/internal/program"
 	"pipecache/internal/sched"
 	"pipecache/internal/trace"
@@ -16,9 +19,9 @@ import (
 
 func runTables(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
 	fs.Parse(args)
-	lab, err := buildLab(*insts, *benchmarks)
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -53,15 +56,15 @@ func runTables(args []string) error {
 		return err
 	}
 	fmt.Println(t6)
-	return nil
+	return writeMetrics(lab, o)
 }
 
 func runFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
 	penalty := fs.Int("penalty", 10, "fixed-cycle refill penalty for the CPI figures")
 	fs.Parse(args)
-	lab, err := buildLab(*insts, *benchmarks)
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -107,14 +110,20 @@ func runFigures(args []string) error {
 		return err
 	}
 	fmt.Println(f11)
-	return nil
+	return writeMetrics(lab, o)
 }
 
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
+	cpuprofile, memprofile := profileFlags(fs)
 	fs.Parse(args)
-	lab, err := buildLab(*insts, *benchmarks)
+	stopProfile, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -172,7 +181,10 @@ func runSweep(args []string) error {
 		}
 		fmt.Println(asym)
 	}
-	return nil
+	if err := writeHeapProfile(*memprofile); err != nil {
+		return err
+	}
+	return writeMetrics(lab, o)
 }
 
 func runDisasm(args []string) error {
@@ -214,14 +226,14 @@ func runDisasm(args []string) error {
 
 func runSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
 	b := fs.Int("b", 2, "branch delay slots (L1-I pipeline depth)")
 	l := fs.Int("l", 2, "load delay slots (L1-D pipeline depth)")
 	isize := fs.Int("isize", 8, "L1-I size in KW")
 	dsize := fs.Int("dsize", 8, "L1-D size in KW")
 	dyn := fs.Bool("dynamic-loads", false, "use dynamic (out-of-order) load scheduling")
 	fs.Parse(args)
-	lab, err := buildLab(*insts, *benchmarks)
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -234,17 +246,17 @@ func runSimulate(args []string) error {
 		return err
 	}
 	fmt.Println(pt)
-	return nil
+	return writeMetrics(lab, o)
 }
 
 func runTracegen(args []string) error {
 	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
 	out := fs.String("o", "trace.pct", "output trace file")
 	slots := fs.Int("b", 0, "branch delay slots encoded in the fetch stream")
 	fs.Parse(args)
 
-	lab, err := buildLab(*insts, *benchmarks)
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -267,7 +279,7 @@ func runTracegen(args []string) error {
 			return err
 		}
 		cap := &trace.Capture{W: w, Xlat: xlat, PID: uint8(i)}
-		it.Run(*insts, cap)
+		it.Run(*o.insts, cap)
 		if cap.Err() != nil {
 			return cap.Err()
 		}
@@ -276,7 +288,7 @@ func runTracegen(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d references to %s\n", w.Count(), *out)
-	return nil
+	return writeMetrics(lab, o)
 }
 
 func runTiming(args []string) error {
@@ -309,9 +321,15 @@ func runTiming(args []string) error {
 
 func runAblations(args []string) error {
 	fs := flag.NewFlagSet("ablations", flag.ExitOnError)
-	insts, benchmarks := commonFlags(fs)
+	o := commonFlags(fs)
+	cpuprofile, memprofile := profileFlags(fs)
 	fs.Parse(args)
-	lab, err := buildLab(*insts, *benchmarks)
+	stopProfile, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
+	lab, err := buildLab(o)
 	if err != nil {
 		return err
 	}
@@ -364,5 +382,86 @@ func runAblations(args []string) error {
 	}
 	fmt.Println(st)
 	fmt.Printf("optimal depths agree across seeds: %v\n", st.DepthsAgree())
-	return nil
+	if err := writeHeapProfile(*memprofile); err != nil {
+		return err
+	}
+	return writeMetrics(lab, o)
+}
+
+// profileFlags registers the pprof flags shared by the long-running
+// subcommands (sweep, ablations).
+func profileFlags(fs *flag.FlagSet) (cpuprofile, memprofile *string) {
+	cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	return
+}
+
+// startCPUProfile begins CPU profiling to path (no-op when path is empty)
+// and returns the stop function.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile writes a heap profile to path (no-op when path is
+// empty).
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// runMetrics either renders an existing JSON metrics snapshot as text
+// (-in) or performs an instrumented prewarm run and prints its metrics —
+// a quick way to inspect what the observability layer records.
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	in := fs.String("in", "", "render an existing JSON metrics snapshot instead of running")
+	o := commonFlags(fs)
+	fs.Parse(args)
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snap, err := obs.ReadSnapshot(f)
+		if err != nil {
+			return err
+		}
+		return snap.WriteText(os.Stdout)
+	}
+
+	lab, err := buildLab(o)
+	if err != nil {
+		return err
+	}
+	if err := lab.Obs().Snapshot().WriteText(os.Stdout); err != nil {
+		return err
+	}
+	return writeMetrics(lab, o)
 }

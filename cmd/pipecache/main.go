@@ -11,11 +11,15 @@
 //	pipecache simulate [flags]   evaluate one design point
 //	pipecache tracegen [flags]   write a multiprogrammed reference trace
 //	pipecache timing             print the timing model's Table 6 inputs
+//	pipecache metrics  [flags]   run an instrumented pass and print its
+//	                             metrics, or render a snapshot with -in
 //
 // Common flags:
 //
 //	-insts N       instructions per benchmark per pass (default 1000000)
 //	-benchmarks s  comma-separated benchmark subset (default: all 16)
+//	-metrics file  write a JSON metrics snapshot of the run to file
+//	-progress      report live sweep progress (points done/total, ETA)
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"pipecache/internal/core"
 	"pipecache/internal/gen"
+	"pipecache/internal/obs"
 )
 
 func main() {
@@ -50,6 +55,8 @@ func main() {
 		err = runTiming(args)
 	case "ablations":
 		err = runAblations(args)
+	case "metrics":
+		err = runMetrics(args)
 	case "disasm":
 		err = runDisasm(args)
 	case "help", "-h", "--help":
@@ -77,25 +84,39 @@ commands:
   timing     timing model summary (Table 6, floorplan)
   ablations  extension studies (associativity, block size, L2,
              write policy, BTB capacity, profiling, quantum)
+  metrics    instrumented smoke run / snapshot viewer
   disasm     disassemble a synthesized benchmark
 
 run "pipecache <command> -h" for flags.
 `)
 }
 
-// commonFlags registers the shared flags on fs and returns getters.
-func commonFlags(fs *flag.FlagSet) (insts *int64, benchmarks *string) {
-	insts = fs.Int64("insts", 1_000_000, "instructions per benchmark per pass")
-	benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default all)")
-	return
+// cliOpts bundles the flags shared by every lab-driven subcommand.
+type cliOpts struct {
+	insts      *int64
+	benchmarks *string
+	metricsOut *string
+	progress   *bool
 }
 
-// buildLab parses flags and assembles the lab.
-func buildLab(insts int64, benchmarks string) (*core.Lab, error) {
+// commonFlags registers the shared flags on fs.
+func commonFlags(fs *flag.FlagSet) *cliOpts {
+	return &cliOpts{
+		insts:      fs.Int64("insts", 1_000_000, "instructions per benchmark per pass"),
+		benchmarks: fs.String("benchmarks", "", "comma-separated benchmark subset (default all)"),
+		metricsOut: fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit"),
+		progress:   fs.Bool("progress", false, "report live sweep progress on stderr"),
+	}
+}
+
+// buildLab assembles the lab from the parsed flags, attaching a fresh
+// metrics registry (and, with -progress, a live progress reporter) before
+// the prewarm passes run.
+func buildLab(o *cliOpts) (*core.Lab, error) {
 	specs := gen.Table1()
-	if benchmarks != "" {
+	if *o.benchmarks != "" {
 		var sel []gen.Spec
-		for _, name := range strings.Split(benchmarks, ",") {
+		for _, name := range strings.Split(*o.benchmarks, ",") {
 			s, ok := gen.LookupSpec(strings.TrimSpace(name))
 			if !ok {
 				return nil, fmt.Errorf("unknown benchmark %q", name)
@@ -110,14 +131,36 @@ func buildLab(insts int64, benchmarks string) (*core.Lab, error) {
 		return nil, err
 	}
 	p := core.DefaultParams()
-	p.Insts = insts
+	p.Insts = *o.insts
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintln(os.Stderr, "running simulation passes...")
+	lab.SetObs(obs.NewRegistry())
+	if *o.progress {
+		lab.SetProgress(obs.NewProgress(os.Stderr))
+	} else {
+		fmt.Fprintln(os.Stderr, "running simulation passes...")
+	}
 	if err := lab.Prewarm(); err != nil {
 		return nil, err
 	}
 	return lab, nil
+}
+
+// writeMetrics dumps the lab's metrics snapshot to the -metrics file, if
+// one was requested.
+func writeMetrics(lab *core.Lab, o *cliOpts) error {
+	if *o.metricsOut == "" {
+		return nil
+	}
+	f, err := os.Create(*o.metricsOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lab.Obs().Snapshot().WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
 }

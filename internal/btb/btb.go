@@ -7,7 +7,11 @@
 // single-cycle access at the target cycle time).
 package btb
 
-import "fmt"
+import (
+	"fmt"
+
+	"pipecache/internal/obs"
+)
 
 // Config describes a branch-target buffer.
 type Config struct {
@@ -47,6 +51,7 @@ type Prediction struct {
 // Stats counts lookup and prediction outcomes.
 type Stats struct {
 	Lookups     uint64
+	Resolves    uint64
 	Hits        uint64
 	CorrectDir  uint64 // hits whose 2-bit direction prediction was right
 	WrongDir    uint64
@@ -55,12 +60,24 @@ type Stats struct {
 	Evictions   uint64
 }
 
-// HitRatio returns hits per lookup.
+// Consultations returns the number of CTIs checked against the buffer.
+// Callers that predict with Lookup then train with Resolve consult once
+// per CTI, as does the CPI simulator's Resolve-only fast path, so the
+// count is the larger of the two.
+func (s Stats) Consultations() uint64 {
+	if s.Resolves > s.Lookups {
+		return s.Resolves
+	}
+	return s.Lookups
+}
+
+// HitRatio returns hits per consulted CTI.
 func (s Stats) HitRatio() float64 {
-	if s.Lookups == 0 {
+	n := s.Consultations()
+	if n == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Lookups)
+	return float64(s.Hits) / float64(n)
 }
 
 // BTB is a branch-target buffer. Not safe for concurrent use.
@@ -98,6 +115,21 @@ func (b *BTB) Config() Config { return b.cfg }
 
 // Stats returns a copy of the statistics.
 func (b *BTB) Stats() Stats { return b.stats }
+
+// Publish registers the buffer under prefix in reg and folds the current
+// statistics in as counter additions. Like cache.Cache, the plain Stats
+// struct is the hot path's shard; Publish merges it once per run.
+func (b *BTB) Publish(reg *obs.Registry, prefix string) {
+	s := b.stats
+	reg.Counter(prefix + ".lookups").Add(int64(s.Consultations()))
+	reg.Counter(prefix + ".hits").Add(int64(s.Hits))
+	reg.Counter(prefix + ".correct_dir").Add(int64(s.CorrectDir))
+	reg.Counter(prefix + ".mispredicts").Add(int64(s.WrongDir + s.WrongTarget))
+	reg.Counter(prefix + ".wrong_dir").Add(int64(s.WrongDir))
+	reg.Counter(prefix + ".wrong_target").Add(int64(s.WrongTarget))
+	reg.Counter(prefix + ".inserts").Add(int64(s.Inserts))
+	reg.Counter(prefix + ".evictions").Add(int64(s.Evictions))
+}
 
 func (b *BTB) find(pc uint32) (int, bool) {
 	set := int(pc) & (b.sets - 1)
@@ -141,6 +173,7 @@ func (b *BTB) Lookup(pc uint32) Prediction {
 //     the full branch delay plus the one-cycle BTB fill stall;
 //   - a not-taken CTI that missed: sequential fetch was correct anyway.
 func (b *BTB) Resolve(pc uint32, taken bool, target uint32) Outcome {
+	b.stats.Resolves++
 	i, hit := b.find(pc)
 	if hit {
 		b.stats.Hits++

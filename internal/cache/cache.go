@@ -10,6 +10,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"pipecache/internal/obs"
 )
 
 // Config describes one cache.
@@ -58,6 +60,16 @@ func (c Config) String() string {
 		pol = "write-back"
 	}
 	return fmt.Sprintf("%dKW/%dW %s %s", c.SizeKW, c.BlockWords, org, pol)
+}
+
+// Label renders the configuration as a compact metric-name segment,
+// e.g. "8kw-b4-a1-wb".
+func (c Config) Label() string {
+	pol := "wt"
+	if c.WriteBack {
+		pol = "wb"
+	}
+	return fmt.Sprintf("%dkw-b%d-a%d-%s", c.SizeKW, c.BlockWords, c.Assoc, pol)
 }
 
 // Stats accumulates access outcomes.
@@ -145,6 +157,22 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears the statistics without touching cache contents; use it
 // after warmup.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Publish registers the cache under prefix in reg and folds the current
+// statistics in as counter additions. The Stats struct is the cache's
+// zero-synchronization shard: the hot path increments plain fields, and
+// Publish merges them with one atomic add per metric when the owning
+// simulation pass completes. Call it once per run.
+func (c *Cache) Publish(reg *obs.Registry, prefix string) {
+	s := c.stats
+	reg.Counter(prefix + ".probes").Add(int64(s.Accesses()))
+	reg.Counter(prefix + ".reads").Add(int64(s.Reads))
+	reg.Counter(prefix + ".writes").Add(int64(s.Writes))
+	reg.Counter(prefix + ".read_misses").Add(int64(s.ReadMisses))
+	reg.Counter(prefix + ".write_misses").Add(int64(s.WriteMisses))
+	reg.Counter(prefix + ".writebacks").Add(int64(s.Writebacks))
+	reg.Counter(prefix + ".write_throughs").Add(int64(s.Throughs))
+}
 
 // Flush invalidates every line (dirty lines are counted as writebacks for a
 // write-back cache) and leaves statistics alone.

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pipecache/internal/cache"
 	"pipecache/internal/cpisim"
+	"pipecache/internal/obs"
 	"pipecache/internal/timing"
 )
 
@@ -100,12 +102,24 @@ type Lab struct {
 	P     Params
 
 	mu     sync.Mutex
-	passes map[passKey]*cpisim.Result
+	passes map[passKey]*passEntry
+
+	obs      *obs.Registry
+	progress *obs.Progress
 }
 
 type passKey struct {
 	b      int
 	scheme cpisim.BranchScheme
+}
+
+// passEntry single-flights one memoized pass: concurrent requests for the
+// same key share one simulation instead of racing to run it twice, which
+// keeps the published obs counters identical at every GOMAXPROCS.
+type passEntry struct {
+	once sync.Once
+	res  *cpisim.Result
+	err  error
 }
 
 // NewLab validates the parameters and wraps the suite.
@@ -116,8 +130,21 @@ func NewLab(s *Suite, p Params) (*Lab, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Lab{Suite: s, P: p, passes: map[passKey]*cpisim.Result{}}, nil
+	return &Lab{Suite: s, P: p, passes: map[passKey]*passEntry{}}, nil
 }
+
+// SetObs attaches a run-scoped metrics registry: every simulation pass
+// publishes its cache, BTB, and interpreter counters into it, and the lab
+// adds pass-level accounting (wall time per pass, memo hit ratio, TPI
+// points evaluated). Attach before running experiments.
+func (l *Lab) SetObs(reg *obs.Registry) { l.obs = reg }
+
+// Obs returns the attached registry (nil when none).
+func (l *Lab) Obs() *obs.Registry { return l.obs }
+
+// SetProgress attaches a live progress reporter; the sweeps and Prewarm
+// report phase totals, points done, and an ETA through it.
+func (l *Lab) SetProgress(p *obs.Progress) { l.progress = p }
 
 // cacheBank builds one cache.Config per size with the default block size.
 func (l *Lab) cacheBank() []cache.Config {
@@ -160,37 +187,59 @@ func (l *Lab) BTBPass() (*cpisim.Result, error) {
 
 func (l *Lab) pass(k passKey) (*cpisim.Result, error) {
 	l.mu.Lock()
-	if r, ok := l.passes[k]; ok {
-		l.mu.Unlock()
-		return r, nil
+	e, ok := l.passes[k]
+	if !ok {
+		e = &passEntry{}
+		l.passes[k] = e
 	}
 	l.mu.Unlock()
 
-	cfg := cpisim.Config{
-		BranchSlots:  k.b,
-		BranchScheme: k.scheme,
-		LoadSlots:    0,
-		ICaches:      l.cacheBank(),
-		DCaches:      l.cacheBank(),
-		Quantum:      l.P.Quantum,
+	requests := l.obs.Counter("lab.pass_requests")
+	requests.Inc()
+	if ok {
+		l.obs.Counter("lab.pass_memo_hits").Inc()
 	}
+	e.once.Do(func() {
+		cfg := cpisim.Config{
+			BranchSlots:  k.b,
+			BranchScheme: k.scheme,
+			LoadSlots:    0,
+			ICaches:      l.cacheBank(),
+			DCaches:      l.cacheBank(),
+			Quantum:      l.P.Quantum,
+		}
+		e.res, e.err = l.runInstrumented(cfg, "lab.passes_run")
+	})
+	if l.obs != nil {
+		// Hit ratio of the memoized-pass cache so far; requests counts
+		// both this call and any concurrent ones already folded in.
+		req := float64(requests.Value())
+		hits := float64(l.obs.Counter("lab.pass_memo_hits").Value())
+		if req > 0 {
+			l.obs.Gauge("lab.pass_memo_hit_ratio").Set(hits / req)
+		}
+	}
+	return e.res, e.err
+}
+
+// runInstrumented executes one simulation pass with the lab's registry
+// attached, recording its wall time and bumping the named pass counter.
+func (l *Lab) runInstrumented(cfg cpisim.Config, counter string) (*cpisim.Result, error) {
 	sim, err := cpisim.New(cfg, l.workloads())
 	if err != nil {
 		return nil, err
 	}
+	sim.SetObs(l.obs)
+	start := time.Now()
 	res, err := sim.Run(l.P.Insts)
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if r, ok := l.passes[k]; ok {
-		// A concurrent caller got there first; both results are
-		// bit-identical (the simulation is deterministic), keep the
-		// stored one.
-		return r, nil
+	if l.obs != nil {
+		l.obs.Counter(counter).Inc()
+		l.obs.Histogram("lab.pass_seconds", obs.ExponentialBounds(0.01, 2, 16)...).
+			Observe(time.Since(start).Seconds())
 	}
-	l.passes[k] = res
 	return res, nil
 }
 
@@ -207,6 +256,7 @@ func (l *Lab) Prewarm() error {
 		{b: 3, scheme: cpisim.BranchStatic},
 		{b: 0, scheme: cpisim.BranchBTB},
 	}
+	l.progress.StartPhase("simulation passes", int64(len(keys)))
 	errs := make([]error, len(keys))
 	var wg sync.WaitGroup
 	for i, k := range keys {
@@ -214,9 +264,11 @@ func (l *Lab) Prewarm() error {
 		go func(i int, k passKey) {
 			defer wg.Done()
 			_, errs[i] = l.pass(k)
+			l.progress.Step(1)
 		}(i, k)
 	}
 	wg.Wait()
+	l.progress.Finish()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -241,9 +293,5 @@ func (l *Lab) RunPass(cfg cpisim.Config) (*cpisim.Result, error) {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = l.P.Quantum
 	}
-	sim, err := cpisim.New(cfg, l.workloads())
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(l.P.Insts)
+	return l.runInstrumented(cfg, "lab.adhoc_passes_run")
 }

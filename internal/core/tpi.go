@@ -31,6 +31,7 @@ func (p TPIPoint) String() string {
 // miss penalty from the constant-time L2 service at that cycle time, and
 // CPI from the memoized simulation passes.
 func (l *Lab) TPI(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64) (TPIPoint, error) {
+	l.obs.Counter("lab.tpi_points").Inc()
 	p := TPIPoint{B: b, L: ld, ISizeKW: iSizeKW, DSizeKW: dSizeKW, LoadScheme: scheme}
 	tcpu, err := l.P.Model.TCPUSplit(iSizeKW, b, dSizeKW, ld)
 	if err != nil {
@@ -71,6 +72,8 @@ func (l *Lab) TPISweep(l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResul
 	for _, s := range l.P.SizesKW {
 		f.X = append(f.X, float64(2*s))
 	}
+	l.progress.StartPhase("TPI sweep", int64(4*len(l.P.SizesKW)))
+	defer l.progress.Finish()
 	for depth := 0; depth <= 3; depth++ {
 		var ys []float64
 		for _, side := range l.P.SizesKW {
@@ -79,6 +82,7 @@ func (l *Lab) TPISweep(l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResul
 				return nil, err
 			}
 			ys = append(ys, pt.TPINs)
+			l.progress.Step(1)
 		}
 		f.Labels = append(f.Labels, fmt.Sprintf("b=l=%d", depth))
 		f.Y = append(f.Y, ys)
@@ -117,6 +121,12 @@ type Optimum struct {
 // restricted to symmetric designs (b = l with an equal split), and returns
 // the minimum-TPI point.
 func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool) (*Optimum, error) {
+	total := int64(16 * len(l.P.SizesKW) * len(l.P.SizesKW))
+	if symmetric {
+		total = int64(4 * len(l.P.SizesKW))
+	}
+	l.progress.StartPhase("design-space sweep", total)
+	defer l.progress.Finish()
 	best := TPIPoint{TPINs: math.Inf(1)}
 	n := 0
 	for b := 0; b <= 3; b++ {
@@ -134,6 +144,7 @@ func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric b
 						return nil, err
 					}
 					n++
+					l.progress.Step(1)
 					if pt.TPINs < best.TPINs {
 						best = pt
 					}
@@ -191,6 +202,8 @@ type DepthMatrixResult struct {
 // DepthMatrix evaluates every (b, l) pair over equally split sizes.
 func (l *Lab) DepthMatrix(l2TimeNs float64) (*DepthMatrixResult, error) {
 	depths := []int{0, 1, 2, 3}
+	l.progress.StartPhase("depth matrix", int64(len(depths)*len(depths)*len(l.P.SizesKW)))
+	defer l.progress.Finish()
 	res := &DepthMatrixResult{Depths: depths}
 	for _, b := range depths {
 		rowT := make([]float64, len(depths))
@@ -203,6 +216,7 @@ func (l *Lab) DepthMatrix(l2TimeNs float64) (*DepthMatrixResult, error) {
 				if err != nil {
 					return nil, err
 				}
+				l.progress.Step(1)
 				if pt.TPINs < best {
 					best = pt.TPINs
 					bestSize = side
@@ -286,6 +300,23 @@ func (l *Lab) AsymmetryStudy(l2TimeNs float64) (*AsymmetryStudyResult, error) {
 		{"D-heavy", func(b, ld, i, d int) bool { return ld >= b && d >= i && (ld > b || d > i) }},
 	}
 	res := &AsymmetryStudyResult{L2TimeNs: l2TimeNs}
+	// Pre-count the admissible points so the progress phase has a total.
+	var total int64
+	for _, cl := range classes {
+		for b := 0; b <= 3; b++ {
+			for ld := 0; ld <= 3; ld++ {
+				for _, iSize := range l.P.SizesKW {
+					for _, dSize := range l.P.SizesKW {
+						if cl.ok(b, ld, iSize, dSize) {
+							total++
+						}
+					}
+				}
+			}
+		}
+	}
+	l.progress.StartPhase("asymmetry study", total)
+	defer l.progress.Finish()
 	for _, cl := range classes {
 		best := TPIPoint{TPINs: math.Inf(1)}
 		for b := 0; b <= 3; b++ {
@@ -299,6 +330,7 @@ func (l *Lab) AsymmetryStudy(l2TimeNs float64) (*AsymmetryStudyResult, error) {
 						if err != nil {
 							return nil, err
 						}
+						l.progress.Step(1)
 						if pt.TPINs < best.TPINs {
 							best = pt
 						}

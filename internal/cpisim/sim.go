@@ -6,6 +6,7 @@ import (
 	"pipecache/internal/btb"
 	"pipecache/internal/cache"
 	"pipecache/internal/interp"
+	"pipecache/internal/obs"
 	"pipecache/internal/program"
 	"pipecache/internal/sched"
 	"pipecache/internal/stats"
@@ -33,6 +34,7 @@ type Sim struct {
 	l2caches []*cache.Cache
 	btb      *btb.BTB
 	benches  []*benchState
+	obs      *obs.Registry
 }
 
 type benchState struct {
@@ -159,6 +161,7 @@ func (s *Sim) Run(instsPerBench int64) (*Result, error) {
 	for _, b := range s.benches {
 		res.Benches = append(res.Benches, b.res)
 	}
+	s.publish(res)
 	return res, nil
 }
 

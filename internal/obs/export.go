@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time capture of a registry, the unit of the JSON
+// and text exporters. Counter totals of a deterministic run are
+// reproducible; gauges and duration histograms may carry wall-clock
+// values.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot is one histogram's exported state. Counts has one more
+// element than Bounds: the overflow bucket.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean returns the mean observation, or 0 when empty.
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistSnapshot{}
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot as an aligned, lexically sorted listing —
+// the `pipecache metrics` view.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		width := 0
+		for _, name := range sortedKeys(s.Counters) {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-*s %d\n", width, name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		width := 0
+		for _, name := range sortedKeys(s.Gauges) {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-*s %g\n", width, name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %s: count=%d sum=%g mean=%g\n", name, h.Count, h.Sum, h.Mean())
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, "    <=%g: %d\n", h.Bounds[i], c)
+				} else {
+					fmt.Fprintf(&b, "    >%g: %d\n", h.Bounds[len(h.Bounds)-1], c)
+				}
+			}
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("(no metrics recorded)\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

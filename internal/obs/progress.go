@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports live phase progress (points done / total, ETA) to a
+// terminal-style writer, overwriting one status line per phase. All
+// methods are safe for concurrent use and safe on a nil receiver, so
+// instrumented code needs no enablement checks.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	now   func() time.Time // test hook
+	phase string
+	total int64
+	done  int64
+	start time.Time
+	last  time.Time
+	// minInterval throttles redraws; the final update of a phase always
+	// renders.
+	minInterval time.Duration
+	dirty       bool // a status line is on screen and needs a newline
+}
+
+// NewProgress returns a reporter writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, now: time.Now, minInterval: 100 * time.Millisecond}
+}
+
+// StartPhase begins a new phase of total steps, finishing any phase still
+// on screen.
+func (p *Progress) StartPhase(phase string, total int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finishLocked()
+	p.phase = phase
+	p.total = total
+	p.done = 0
+	p.start = p.now()
+	p.last = time.Time{}
+	p.renderLocked()
+}
+
+// Step advances the current phase by n steps.
+func (p *Progress) Step(n int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.phase == "" {
+		return
+	}
+	p.done += n
+	now := p.now()
+	if p.done < p.total && now.Sub(p.last) < p.minInterval {
+		return
+	}
+	p.last = now
+	p.renderLocked()
+}
+
+// Finish completes the current phase, terminating its status line.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finishLocked()
+}
+
+func (p *Progress) finishLocked() {
+	if p.dirty {
+		fmt.Fprintln(p.w)
+		p.dirty = false
+	}
+	p.phase = ""
+}
+
+func (p *Progress) renderLocked() {
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(p.done) / float64(p.total)
+	}
+	eta := "?"
+	if p.done > 0 && p.done < p.total {
+		elapsed := p.now().Sub(p.start)
+		rem := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = rem.Round(100 * time.Millisecond).String()
+	} else if p.done >= p.total {
+		eta = "done"
+	}
+	fmt.Fprintf(p.w, "\r%s: %d/%d (%.0f%%) eta %s   ", p.phase, p.done, p.total, pct, eta)
+	p.dirty = true
+}

@@ -1,0 +1,80 @@
+package pipecache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInstrumentationOverhead guards the zero-allocation-hot-path design:
+// attaching a metrics registry to the simulator must not slow it down by
+// more than ~5%. The simulator keeps plain per-pass stats structs in the
+// hot loop and folds them into the registry once per run, so the true cost
+// is a handful of atomic adds per 200k simulated instructions.
+func TestInstrumentationOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+
+	spec, _ := LookupBenchmark("espresso")
+	prog, err := BuildProgram(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	const insts = 200_000
+
+	one := func(reg *Registry) time.Duration {
+		t.Helper()
+		sim, err := NewSim(cfg, []Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg != nil {
+			sim.SetObs(reg)
+		}
+		start := time.Now()
+		if _, err := sim.Run(insts); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Best-of-N wall time per variant, with the variants interleaved so
+	// scheduler noise and frequency drift hit both equally; the minimum is
+	// robust against that noise, which an average is not.
+	reg := NewRegistry()
+	measure := func(rounds int) float64 {
+		t.Helper()
+		plain, instrumented := time.Duration(1<<63-1), time.Duration(1<<63-1)
+		for i := 0; i < rounds; i++ {
+			if d := one(nil); d < plain {
+				plain = d
+			}
+			if d := one(reg); d < instrumented {
+				instrumented = d
+			}
+		}
+		overhead := float64(instrumented-plain) / float64(plain)
+		t.Logf("plain %v, instrumented %v, overhead %.2f%%", plain, instrumented, 100*overhead)
+		return overhead
+	}
+
+	one(nil) // warm-up: code paths and page cache hot before timing
+	overhead := measure(6)
+	if overhead > 0.05 {
+		// Timing tests on a loaded machine can flake; believe a failure
+		// only if it reproduces.
+		overhead = measure(10)
+	}
+	if reg.Snapshot().Counters["interp.insts_retired"] == 0 {
+		t.Fatal("instrumented runs published no metrics")
+	}
+	if overhead > 0.05 {
+		t.Errorf("instrumentation overhead %.2f%% exceeds 5%%", 100*overhead)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"pipecache/internal/gen"
 	"pipecache/internal/interp"
 	"pipecache/internal/isa"
+	"pipecache/internal/obs"
 	"pipecache/internal/program"
 	"pipecache/internal/sched"
 	"pipecache/internal/timing"
@@ -206,6 +207,25 @@ func NewLab(s *Suite, p Params) (*Lab, error) { return core.NewLab(s, p) }
 
 // SummaryTable renders a set of TPI points.
 func SummaryTable(title string, pts []TPIPoint) string { return core.SummaryTable(title, pts) }
+
+// Observability (internal/obs).
+type (
+	// Registry is a run-scoped metric registry; attach one to a Lab
+	// (SetObs) or a Sim (SetObs) to collect cache, BTB, interpreter, and
+	// pass-timing metrics.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time export of a Registry, with JSON
+	// and text renderers.
+	MetricsSnapshot = obs.Snapshot
+	// Progress reports live sweep progress (points done/total, ETA).
+	Progress = obs.Progress
+)
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewProgress returns a progress reporter writing to w.
+func NewProgress(w io.Writer) *Progress { return obs.NewProgress(w) }
 
 // Trace files (internal/trace).
 type (
