@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations metrics golden clean
+.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations metrics serve golden ci clean
 
 all: build vet test
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseInst -fuzztime 30s ./internal/isa/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzParseCircuit -fuzztime 30s ./internal/timing/
+	$(GO) test -fuzz FuzzDesignRequest -fuzztime 30s ./internal/server/
 
 tables:
 	$(GO) run ./cmd/pipecache tables
@@ -49,9 +50,22 @@ ablations:
 metrics:
 	$(GO) run ./cmd/pipecache metrics -insts 100000 -benchmarks gcc,yacc
 
+# Serve the design space over HTTP/JSON (see README "Serving").
+serve:
+	$(GO) run ./cmd/pipecache serve -addr :8080
+
 # Regenerate the golden files after an intended behaviour change.
 golden:
 	$(GO) test ./internal/core -run TestGolden -update
+	$(GO) test ./internal/server -run TestGolden -update
+
+# The full gate CI runs: format check, vet, build, tests, race.
+ci:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/server ./internal/core ./internal/obs
 
 clean:
 	$(GO) clean ./...

@@ -9,10 +9,13 @@
 //	pipecache sweep    [flags]   reproduce the Section 5 TPI analysis
 //	                             (Figures 12-13 and the optimal designs)
 //	pipecache simulate [flags]   evaluate one design point
+//	pipecache serve    [flags]   serve the design space over HTTP/JSON with
+//	                             result caching and live metrics
 //	pipecache tracegen [flags]   write a multiprogrammed reference trace
 //	pipecache timing             print the timing model's Table 6 inputs
 //	pipecache metrics  [flags]   run an instrumented pass and print its
 //	                             metrics, or render a snapshot with -in
+//	pipecache version            print the binary's build identity
 //
 // Common flags:
 //
@@ -26,10 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pipecache/internal/core"
-	"pipecache/internal/gen"
 	"pipecache/internal/obs"
 )
 
@@ -49,6 +50,10 @@ func main() {
 		err = runSweep(args)
 	case "simulate":
 		err = runSimulate(args)
+	case "serve":
+		err = runServe(args)
+	case "version":
+		err = runVersion(args)
 	case "tracegen":
 		err = runTracegen(args)
 	case "timing":
@@ -80,6 +85,9 @@ commands:
   figures    reproduce Figures 3-11
   sweep      TPI design-space analysis (Figures 12-13, optima)
   simulate   evaluate one design point
+  serve      HTTP/JSON design-space service (caching, backpressure,
+             /metrics, graceful drain)
+  version    print the binary's build identity
   tracegen   write a multiprogrammed reference trace
   timing     timing model summary (Table 6, floorplan)
   ablations  extension studies (associativity, block size, L2,
@@ -113,17 +121,9 @@ func commonFlags(fs *flag.FlagSet) *cliOpts {
 // metrics registry (and, with -progress, a live progress reporter) before
 // the prewarm passes run.
 func buildLab(o *cliOpts) (*core.Lab, error) {
-	specs := gen.Table1()
-	if *o.benchmarks != "" {
-		var sel []gen.Spec
-		for _, name := range strings.Split(*o.benchmarks, ",") {
-			s, ok := gen.LookupSpec(strings.TrimSpace(name))
-			if !ok {
-				return nil, fmt.Errorf("unknown benchmark %q", name)
-			}
-			sel = append(sel, s)
-		}
-		specs = sel
+	specs, err := selectSpecs(o)
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "building %d benchmarks...\n", len(specs))
 	suite, err := core.BuildSuite(specs)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pipecache/internal/cpisim"
@@ -277,7 +278,12 @@ func (r *Figure10Result) String() string {
 // from adding l load delay cycles — the relative tCPU reduction pipelining
 // must deliver before performance improves — versus D-cache size.
 func (l *Lab) Figure11(penalty int) (*FigureResult, error) {
-	pass, err := l.StaticPass(0)
+	return l.Figure11Context(context.Background(), penalty)
+}
+
+// Figure11Context is Figure11 with cooperative cancellation.
+func (l *Lab) Figure11Context(ctx context.Context, penalty int) (*FigureResult, error) {
+	pass, err := l.StaticPassContext(ctx, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -115,9 +117,13 @@ type passKey struct {
 
 // passEntry single-flights one memoized pass: concurrent requests for the
 // same key share one simulation instead of racing to run it twice, which
-// keeps the published obs counters identical at every GOMAXPROCS.
+// keeps the published obs counters identical at every GOMAXPROCS. The
+// leader (the goroutine that created the entry) runs the pass and closes
+// done; everyone else waits on done or on their own context. A leader that
+// is cancelled removes the entry again so the memo is never poisoned by one
+// aborted request.
 type passEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *cpisim.Result
 	err  error
 }
@@ -175,31 +181,67 @@ func (l *Lab) sizeIndex(sizeKW int) (int, error) {
 // cache banks. Load stalls are derived from the recorded epsilon
 // distributions afterwards, so the pass itself is load-depth-agnostic.
 func (l *Lab) StaticPass(b int) (*cpisim.Result, error) {
-	return l.pass(passKey{b: b, scheme: cpisim.BranchStatic})
+	return l.StaticPassContext(context.Background(), b)
+}
+
+// StaticPassContext is StaticPass with cooperative cancellation: ctx aborts
+// both waiting for an in-flight pass and the pass's own simulation loop.
+func (l *Lab) StaticPassContext(ctx context.Context, b int) (*cpisim.Result, error) {
+	return l.passContext(ctx, passKey{b: b, scheme: cpisim.BranchStatic})
 }
 
 // BTBPass runs (or returns the memoized) simulation of the BTB
 // architecture. The BTB's stall cycles scale linearly with the delay count,
 // so one pass serves every depth (Result.BTBStallPerCTIFor).
 func (l *Lab) BTBPass() (*cpisim.Result, error) {
-	return l.pass(passKey{b: 0, scheme: cpisim.BranchBTB})
+	return l.BTBPassContext(context.Background())
 }
 
-func (l *Lab) pass(k passKey) (*cpisim.Result, error) {
-	l.mu.Lock()
-	e, ok := l.passes[k]
-	if !ok {
-		e = &passEntry{}
-		l.passes[k] = e
-	}
-	l.mu.Unlock()
+// BTBPassContext is BTBPass with cooperative cancellation.
+func (l *Lab) BTBPassContext(ctx context.Context) (*cpisim.Result, error) {
+	return l.passContext(ctx, passKey{b: 0, scheme: cpisim.BranchBTB})
+}
 
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (l *Lab) passContext(ctx context.Context, k passKey) (*cpisim.Result, error) {
 	requests := l.obs.Counter("lab.pass_requests")
 	requests.Inc()
-	if ok {
-		l.obs.Counter("lab.pass_memo_hits").Inc()
-	}
-	e.once.Do(func() {
+	counted := false
+	for {
+		l.mu.Lock()
+		e, ok := l.passes[k]
+		if !ok {
+			e = &passEntry{done: make(chan struct{})}
+			l.passes[k] = e
+		}
+		l.mu.Unlock()
+
+		if ok {
+			// Memo hit (possibly still in flight): wait for the leader,
+			// bounded by our own context.
+			if !counted {
+				l.obs.Counter("lab.pass_memo_hits").Inc()
+				counted = true
+			}
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isCtxErr(e.err) {
+				// The leader itself was cancelled and has removed the
+				// entry; take another turn (and possibly become leader).
+				continue
+			}
+			l.setMemoRatio(requests)
+			return e.res, e.err
+		}
+
+		// Leader: run the pass under our context.
 		cfg := cpisim.Config{
 			BranchSlots:  k.b,
 			BranchScheme: k.scheme,
@@ -208,30 +250,41 @@ func (l *Lab) pass(k passKey) (*cpisim.Result, error) {
 			DCaches:      l.cacheBank(),
 			Quantum:      l.P.Quantum,
 		}
-		e.res, e.err = l.runInstrumented(cfg, "lab.passes_run")
-	})
-	if l.obs != nil {
-		// Hit ratio of the memoized-pass cache so far; requests counts
-		// both this call and any concurrent ones already folded in.
-		req := float64(requests.Value())
-		hits := float64(l.obs.Counter("lab.pass_memo_hits").Value())
-		if req > 0 {
-			l.obs.Gauge("lab.pass_memo_hit_ratio").Set(hits / req)
+		e.res, e.err = l.runInstrumented(ctx, cfg, "lab.passes_run")
+		if isCtxErr(e.err) {
+			l.mu.Lock()
+			delete(l.passes, k)
+			l.mu.Unlock()
 		}
+		close(e.done)
+		l.setMemoRatio(requests)
+		return e.res, e.err
 	}
-	return e.res, e.err
+}
+
+// setMemoRatio publishes the hit ratio of the memoized-pass cache so far;
+// requests counts both this call and any concurrent ones already folded in.
+func (l *Lab) setMemoRatio(requests *obs.Counter) {
+	if l.obs == nil {
+		return
+	}
+	req := float64(requests.Value())
+	hits := float64(l.obs.Counter("lab.pass_memo_hits").Value())
+	if req > 0 {
+		l.obs.Gauge("lab.pass_memo_hit_ratio").Set(hits / req)
+	}
 }
 
 // runInstrumented executes one simulation pass with the lab's registry
 // attached, recording its wall time and bumping the named pass counter.
-func (l *Lab) runInstrumented(cfg cpisim.Config, counter string) (*cpisim.Result, error) {
+func (l *Lab) runInstrumented(ctx context.Context, cfg cpisim.Config, counter string) (*cpisim.Result, error) {
 	sim, err := cpisim.New(cfg, l.workloads())
 	if err != nil {
 		return nil, err
 	}
 	sim.SetObs(l.obs)
 	start := time.Now()
-	res, err := sim.Run(l.P.Insts)
+	res, err := sim.RunContext(ctx, l.P.Insts)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +316,7 @@ func (l *Lab) Prewarm() error {
 		wg.Add(1)
 		go func(i int, k passKey) {
 			defer wg.Done()
-			_, errs[i] = l.pass(k)
+			_, errs[i] = l.passContext(context.Background(), k)
 			l.progress.Step(1)
 		}(i, k)
 	}
@@ -290,8 +343,13 @@ func (l *Lab) workloads() []cpisim.Workload {
 // RunPass executes an uncached custom configuration over the suite (used
 // by the block-size and associativity ablations).
 func (l *Lab) RunPass(cfg cpisim.Config) (*cpisim.Result, error) {
+	return l.RunPassContext(context.Background(), cfg)
+}
+
+// RunPassContext is RunPass with cooperative cancellation.
+func (l *Lab) RunPassContext(ctx context.Context, cfg cpisim.Config) (*cpisim.Result, error) {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = l.P.Quantum
 	}
-	return l.runInstrumented(cfg, "lab.adhoc_passes_run")
+	return l.runInstrumented(ctx, cfg, "lab.adhoc_passes_run")
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,12 @@ func (p TPIPoint) String() string {
 // miss penalty from the constant-time L2 service at that cycle time, and
 // CPI from the memoized simulation passes.
 func (l *Lab) TPI(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64) (TPIPoint, error) {
+	return l.TPIContext(context.Background(), b, ld, iSizeKW, dSizeKW, scheme, l2TimeNs)
+}
+
+// TPIContext is TPI with cooperative cancellation: ctx aborts the
+// underlying simulation pass (or the wait for a concurrent one).
+func (l *Lab) TPIContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64) (TPIPoint, error) {
 	l.obs.Counter("lab.tpi_points").Inc()
 	p := TPIPoint{B: b, L: ld, ISizeKW: iSizeKW, DSizeKW: dSizeKW, LoadScheme: scheme}
 	tcpu, err := l.P.Model.TCPUSplit(iSizeKW, b, dSizeKW, ld)
@@ -40,7 +47,7 @@ func (l *Lab) TPI(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeN
 	p.TCPUNs = tcpu
 	p.PenCycles = penaltyCyclesFor(l2TimeNs, tcpu)
 
-	pass, err := l.StaticPass(b)
+	pass, err := l.StaticPassContext(ctx, b)
 	if err != nil {
 		return p, err
 	}
@@ -64,6 +71,12 @@ func (l *Lab) TPI(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeN
 // TPISweep evaluates TPI for symmetric designs (b = l, equal split) over
 // the size bank: the curves of Figures 12 and 13.
 func (l *Lab) TPISweep(l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResult, error) {
+	return l.TPISweepContext(context.Background(), l2TimeNs, scheme)
+}
+
+// TPISweepContext is TPISweep with cooperative cancellation, checked at
+// every design point.
+func (l *Lab) TPISweepContext(ctx context.Context, l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResult, error) {
 	f := &FigureResult{
 		Title:  fmt.Sprintf("TPI vs total L1 size (split equally, b=l, %s loads, %.0fns miss service)", scheme, l2TimeNs),
 		XLabel: "total L1 size (KW)",
@@ -77,7 +90,7 @@ func (l *Lab) TPISweep(l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResul
 	for depth := 0; depth <= 3; depth++ {
 		var ys []float64
 		for _, side := range l.P.SizesKW {
-			pt, err := l.TPI(depth, depth, side, side, scheme, l2TimeNs)
+			pt, err := l.TPIContext(ctx, depth, depth, side, side, scheme, l2TimeNs)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +105,12 @@ func (l *Lab) TPISweep(l2TimeNs float64, scheme cpisim.LoadScheme) (*FigureResul
 
 // Figure12 is the TPI sweep at the default (10-cycle-class) miss service.
 func (l *Lab) Figure12() (*FigureResult, error) {
-	f, err := l.TPISweep(l.P.L2TimeNs, cpisim.LoadStatic)
+	return l.Figure12Context(context.Background())
+}
+
+// Figure12Context is Figure12 with cooperative cancellation.
+func (l *Lab) Figure12Context(ctx context.Context) (*FigureResult, error) {
+	f, err := l.TPISweepContext(ctx, l.P.L2TimeNs, cpisim.LoadStatic)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +121,12 @@ func (l *Lab) Figure12() (*FigureResult, error) {
 // Figure13 is the TPI sweep at a reduced miss service (the paper's 6-cycle
 // penalty: 21 ns at the 3.5 ns cycle).
 func (l *Lab) Figure13() (*FigureResult, error) {
-	f, err := l.TPISweep(l.P.L2TimeNs*0.6, cpisim.LoadStatic)
+	return l.Figure13Context(context.Background())
+}
+
+// Figure13Context is Figure13 with cooperative cancellation.
+func (l *Lab) Figure13Context(ctx context.Context) (*FigureResult, error) {
+	f, err := l.TPISweepContext(ctx, l.P.L2TimeNs*0.6, cpisim.LoadStatic)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +144,12 @@ type Optimum struct {
 // restricted to symmetric designs (b = l with an equal split), and returns
 // the minimum-TPI point.
 func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool) (*Optimum, error) {
+	return l.BestDesignContext(context.Background(), l2TimeNs, scheme, symmetric)
+}
+
+// BestDesignContext is BestDesign with cooperative cancellation, checked at
+// every design point.
+func (l *Lab) BestDesignContext(ctx context.Context, l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool) (*Optimum, error) {
 	total := int64(16 * len(l.P.SizesKW) * len(l.P.SizesKW))
 	if symmetric {
 		total = int64(4 * len(l.P.SizesKW))
@@ -139,7 +168,7 @@ func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric b
 					if symmetric && iSize != dSize {
 						continue
 					}
-					pt, err := l.TPI(b, ld, iSize, dSize, scheme, l2TimeNs)
+					pt, err := l.TPIContext(ctx, b, ld, iSize, dSize, scheme, l2TimeNs)
 					if err != nil {
 						return nil, err
 					}

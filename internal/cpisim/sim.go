@@ -1,6 +1,7 @@
 package cpisim
 
 import (
+	"context"
 	"fmt"
 
 	"pipecache/internal/btb"
@@ -132,6 +133,15 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 // round-robin with the configured quantum, and returns the cycle
 // decompositions.
 func (s *Sim) Run(instsPerBench int64) (*Result, error) {
+	return s.RunContext(context.Background(), instsPerBench)
+}
+
+// RunContext is Run with cooperative cancellation: the pass polls ctx at
+// every quantum boundary (one benchmark's context-switch interval, the
+// natural granularity of the multiprogrammed loop) and returns ctx's error
+// without a result once it is cancelled. A cancelled pass leaves the
+// simulator in an undefined intermediate state; build a fresh Sim to retry.
+func (s *Sim) RunContext(ctx context.Context, instsPerBench int64) (*Result, error) {
 	if instsPerBench <= 0 {
 		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
 	}
@@ -142,6 +152,9 @@ func (s *Sim) Run(instsPerBench int64) (*Result, error) {
 	active := len(s.benches)
 	for active > 0 {
 		for i, b := range s.benches {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if remaining[i] <= 0 {
 				continue
 			}

@@ -1,0 +1,27 @@
+package obs
+
+import "time"
+
+// LatencyBounds returns the standard request-latency histogram bounds used
+// by the server metric families: exponential buckets from 0.5 ms to ~2 min.
+func LatencyBounds() []float64 {
+	return ExponentialBounds(0.0005, 2, 18)
+}
+
+// Time starts a timer against the named latency histogram and returns the
+// stop function; call it (typically deferred) to observe the elapsed
+// seconds. The histogram is created with LatencyBounds on first use.
+func (r *Registry) Time(name string) func() {
+	h := r.Histogram(name, LatencyBounds()...)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// UptimeGauge publishes the seconds elapsed since start into the named
+// gauge and returns the refreshed value. Call it when exporting a snapshot
+// so the gauge is current at capture time.
+func (r *Registry) UptimeGauge(name string, start time.Time) float64 {
+	v := time.Since(start).Seconds()
+	r.Gauge(name).Set(v)
+	return v
+}

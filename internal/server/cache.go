@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"pipecache/internal/obs"
+)
+
+// Outcome classifies how the cache served one request.
+type Outcome string
+
+const (
+	// OutcomeHit means the response body came straight from the cache.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss means this request computed (and cached) the body.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeShared means the request was collapsed onto a concurrent
+	// identical computation (singleflight) and shares its result.
+	OutcomeShared Outcome = "shared"
+)
+
+// ResultCache is the content-addressed result cache of the server: finished
+// response bodies keyed by the SHA-256 of the canonical request (see
+// requestKey), bounded by an LRU, with singleflight collapse of concurrent
+// identical requests. Simulation passes are deterministic, so a cached body
+// is exactly what a recomputation would produce.
+type ResultCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+	reg      *obs.Registry
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; followers wait on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// NewResultCache returns a cache bounded to max completed entries (min 1).
+func NewResultCache(max int, reg *obs.Registry) *ResultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ResultCache{
+		max:      max,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+		reg:      reg,
+	}
+}
+
+// Do returns the cached body for key, or computes it exactly once across
+// all concurrent callers. The leader runs compute under its own ctx;
+// followers wait bounded by theirs. A leader that fails does not populate
+// the cache, and if it was cancelled its followers retry (one of them
+// becomes the next leader) rather than inheriting the cancellation.
+func (c *ResultCache) Do(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			body := el.Value.(*cacheEntry).body
+			c.mu.Unlock()
+			c.reg.Counter("server.cache.hits").Inc()
+			return body, OutcomeHit, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			c.reg.Counter("server.cache.shared").Inc()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, OutcomeShared, ctx.Err()
+			}
+			if f.err != nil {
+				if isCtxErr(f.err) {
+					continue // the leader aborted; take another turn
+				}
+				return nil, OutcomeShared, f.err
+			}
+			return f.body, OutcomeShared, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		c.reg.Counter("server.cache.misses").Inc()
+		f.body, f.err = compute(ctx)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.addLocked(key, f.body)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.body, OutcomeMiss, f.err
+	}
+}
+
+// addLocked inserts a completed body and evicts from the LRU tail past the
+// bound. Callers hold c.mu.
+func (c *ResultCache) addLocked(key string, body []byte) {
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	for c.lru.Len() > c.max {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+		c.reg.Counter("server.cache.evictions").Inc()
+	}
+	c.reg.Gauge("server.cache.entries").Set(float64(c.lru.Len()))
+}
+
+// Len returns the number of completed entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

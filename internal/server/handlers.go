@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pipecache/internal/core"
+)
+
+// routes mounts every endpoint on the mux, each behind instrument.
+func (s *Server) routes() {
+	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.Handle("POST /v1/best", s.instrument("best", s.handleBest))
+	s.mux.Handle("GET /v1/figures/{n}", s.instrument("figures", s.handleFigure))
+	s.mux.Handle("GET /v1/tables/{n}", s.instrument("tables", s.handleTable))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+}
+
+// SimPoint is the JSON rendering of one evaluated design point.
+type SimPoint struct {
+	B             int     `json:"b"`
+	L             int     `json:"l"`
+	ISizeKW       int     `json:"isize_kw"`
+	DSizeKW       int     `json:"dsize_kw"`
+	Loads         string  `json:"loads"`
+	TCPUNs        float64 `json:"tcpu_ns"`
+	PenaltyCycles int     `json:"penalty_cycles"`
+	CPI           float64 `json:"cpi"`
+	TPINs         float64 `json:"tpi_ns"`
+}
+
+func pointJSON(p core.TPIPoint) SimPoint {
+	return SimPoint{
+		B: p.B, L: p.L, ISizeKW: p.ISizeKW, DSizeKW: p.DSizeKW,
+		Loads: p.LoadScheme.String(), TCPUNs: p.TCPUNs,
+		PenaltyCycles: p.PenCycles, CPI: p.CPI, TPINs: p.TPINs,
+	}
+}
+
+// CPIBreakdown decomposes a design point's CPI into its stall sources; the
+// components sum to the point's CPI. IMiss is measured against a miss-free
+// machine and DMiss is the remainder, so the (small) I/D miss interaction is
+// attributed to the data side.
+type CPIBreakdown struct {
+	Base        float64 `json:"base"`
+	BranchStall float64 `json:"branch_stall"`
+	LoadStall   float64 `json:"load_stall"`
+	IMiss       float64 `json:"imiss"`
+	DMiss       float64 `json:"dmiss"`
+}
+
+// SimulateResponse is the body of POST /v1/simulate.
+type SimulateResponse struct {
+	Request   DesignRequest `json:"request"`
+	Point     SimPoint      `json:"point"`
+	Breakdown CPIBreakdown  `json:"breakdown"`
+}
+
+// BestResponse is the body of POST /v1/best.
+type BestResponse struct {
+	Request   BestRequest `json:"request"`
+	Best      SimPoint    `json:"best"`
+	Evaluated int         `json:"evaluated"`
+}
+
+// FigureJSON is the body of GET /v1/figures/{n}: one family of curves.
+type FigureJSON struct {
+	Title  string      `json:"title"`
+	XLabel string      `json:"x_label"`
+	YLabel string      `json:"y_label"`
+	X      []float64   `json:"x"`
+	Labels []string    `json:"labels"`
+	Y      [][]float64 `json:"y"`
+}
+
+func figureJSON(f *core.FigureResult) FigureJSON {
+	return FigureJSON{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, X: f.X, Labels: f.Labels, Y: f.Y}
+}
+
+// TableResponse is the body of GET /v1/tables/{n}: the rendered table.
+type TableResponse struct {
+	Table int    `json:"table"`
+	Text  string `json:"text"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string    `json:"status"`
+	Build         BuildInfo `json:"build"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Benchmarks    []string  `json:"benchmarks"`
+	Insts         int64     `json:"insts"`
+	PassesRun     int64     `json:"passes_run"`
+}
+
+// serveCached runs the request through the content-addressed cache and the
+// worker pool: cache hits return immediately, concurrent identical requests
+// collapse onto one computation, and fresh work competes for a pool slot.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) (any, error)) {
+	body, outcome, err := s.cache.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		var out []byte
+		err := s.pool.Run(ctx, func(ctx context.Context) error {
+			v, err := compute(ctx)
+			if err != nil {
+				return err
+			}
+			b, err := json.Marshal(v)
+			out = b
+			return err
+		})
+		return out, err
+	})
+	if err != nil {
+		s.writeComputeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", string(outcome))
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// writeComputeError maps pipeline failures onto HTTP semantics.
+func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "all workers busy and queue full; retry later", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("server.requests_timeout").Inc()
+		http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; there is no one to answer. Account for it
+		// and let the connection close.
+		s.reg.Counter("server.requests_canceled").Inc()
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeDesignRequest(r.Body, s.lab.P)
+	if err != nil {
+		http.Error(w, "bad design request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, requestKey("simulate", req), func(ctx context.Context) (any, error) {
+		return s.simulate(ctx, req)
+	})
+}
+
+// simulate evaluates one design point and decomposes its CPI.
+func (s *Server) simulate(ctx context.Context, req DesignRequest) (*SimulateResponse, error) {
+	scheme, err := parseLoadScheme(req.Loads)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := s.lab.TPIContext(ctx, req.B, req.L, req.ISizeKW, req.DSizeKW, scheme, req.L2TimeNs)
+	if err != nil {
+		return nil, err
+	}
+	pass, err := s.lab.StaticPassContext(ctx, req.B)
+	if err != nil {
+		return nil, err
+	}
+	iIdx := bankIndex(req.ISizeKW, s.lab.P.SizesKW)
+	noMiss, err := pass.CPIFor(req.L, scheme, -1, -1, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	withIMiss, err := pass.CPIFor(req.L, scheme, iIdx, -1, pt.PenCycles, 0)
+	if err != nil {
+		return nil, err
+	}
+	branch := pass.BranchCPIComponent()
+	load := pass.LoadCPIComponentFor(req.L, scheme)
+	return &SimulateResponse{
+		Request: req,
+		Point:   pointJSON(pt),
+		Breakdown: CPIBreakdown{
+			Base:        noMiss - branch - load,
+			BranchStall: branch,
+			LoadStall:   load,
+			IMiss:       withIMiss - noMiss,
+			DMiss:       pt.CPI - withIMiss,
+		},
+	}, nil
+}
+
+// bankIndex returns size's index in the bank; requests are validated
+// against the bank at decode time, so the lookup cannot miss.
+func bankIndex(size int, bank []int) int {
+	for i, s := range bank {
+		if s == size {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeBestRequest(r.Body, s.lab.P)
+	if err != nil {
+		http.Error(w, "bad optimization request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, requestKey("best", req), func(ctx context.Context) (any, error) {
+		scheme, err := parseLoadScheme(req.Loads)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := s.lab.BestDesignContext(ctx, req.L2TimeNs, scheme, req.Symmetric)
+		if err != nil {
+			return nil, err
+		}
+		return &BestResponse{Request: req, Best: pointJSON(opt.Best), Evaluated: opt.Evaluated}, nil
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n := r.PathValue("n")
+	penalty := 10
+	if q := r.URL.Query().Get("penalty"); q != "" {
+		p, err := strconv.Atoi(q)
+		if err != nil || p < 1 || p > 1000 {
+			http.Error(w, "penalty must be an integer in 1..1000", http.StatusBadRequest)
+			return
+		}
+		penalty = p
+	}
+	var compute func(context.Context) (any, error)
+	switch n {
+	case "11":
+		compute = func(ctx context.Context) (any, error) {
+			f, err := s.lab.Figure11Context(ctx, penalty)
+			if err != nil {
+				return nil, err
+			}
+			return figureJSON(f), nil
+		}
+	case "12":
+		compute = func(ctx context.Context) (any, error) {
+			f, err := s.lab.Figure12Context(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return figureJSON(f), nil
+		}
+	case "13":
+		compute = func(ctx context.Context) (any, error) {
+			f, err := s.lab.Figure13Context(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return figureJSON(f), nil
+		}
+	default:
+		http.Error(w, "unknown figure (serving 11, 12, 13)", http.StatusNotFound)
+		return
+	}
+	s.serveCached(w, r, requestKey("figures", map[string]any{"n": n, "penalty": penalty}), compute)
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 1 || n > 6 {
+		http.Error(w, "unknown table (serving 1-6)", http.StatusNotFound)
+		return
+	}
+	s.serveCached(w, r, requestKey("tables", map[string]int{"n": n}), func(ctx context.Context) (any, error) {
+		var v fmt.Stringer
+		var terr error
+		switch n {
+		case 1:
+			v, terr = s.lab.Table1()
+		case 2:
+			v, terr = s.lab.Table2()
+		case 3:
+			v, terr = s.lab.Table3()
+		case 4:
+			v, terr = s.lab.Table4()
+		case 5:
+			v, terr = s.lab.Table5()
+		case 6:
+			v, terr = s.lab.Table6()
+		}
+		if terr != nil {
+			return nil, terr
+		}
+		return TableResponse{Table: n, Text: v.String()}, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.lab.Suite.Progs))
+	for _, p := range s.lab.Suite.Progs {
+		names = append(names, p.Name)
+	}
+	resp := HealthResponse{
+		Status:        "ok",
+		Build:         s.build,
+		UptimeSeconds: s.reg.UptimeGauge("server.uptime_seconds", s.start),
+		Benchmarks:    names,
+		Insts:         s.lab.P.Insts,
+		PassesRun:     s.reg.Counter("lab.passes_run").Value(),
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.UptimeGauge("server.uptime_seconds", s.start)
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		s.log.Printf("metrics export: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter records the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps one endpoint with the server's cross-cutting concerns:
+// request counting, a per-endpoint latency histogram, the request-timeout
+// deadline, panic recovery, and structured access logging.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	reqs := s.reg.Counter("server.req." + name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		s.reg.Counter("server.requests").Inc()
+		stop := s.reg.Time("server.latency_seconds." + name)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: 0}
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Counter("server.panics").Inc()
+				s.log.Printf("panic in %s %s: %v", r.Method, r.URL.Path, p)
+				if sw.code == 0 {
+					http.Error(sw, "internal error", http.StatusInternalServerError)
+				}
+			}
+			stop()
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.reg.Counter(fmt.Sprintf("server.status.%dxx", code/100)).Inc()
+			s.log.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, code, sw.bytes, time.Since(start).Round(time.Microsecond))
+		}()
+
+		h(sw, r.WithContext(ctx))
+	})
+}

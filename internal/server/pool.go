@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"pipecache/internal/obs"
+)
+
+// ErrSaturated is returned by Pool.Run when the in-flight bound is reached;
+// handlers translate it into 429 + Retry-After so load sheds at admission
+// instead of piling up goroutines.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// Pool is a bounded worker pool: a fixed set of workers drains a task queue,
+// and submission never blocks — at most workers+queueCap tasks may be in
+// flight (running or queued), and any submission past that bound fails
+// immediately with ErrSaturated. Simulation work is CPU-bound, so workers
+// default to GOMAXPROCS and the queue bounds how much latency a request is
+// willing to buy by waiting.
+type Pool struct {
+	tasks    chan poolTask
+	wg       sync.WaitGroup
+	busy     atomic.Int64
+	inflight atomic.Int64
+	limit    int64
+	reg      *obs.Registry
+
+	closeOnce sync.Once
+}
+
+type poolTask struct {
+	ctx  context.Context
+	f    func(context.Context) error
+	done chan error
+}
+
+// NewPool starts workers goroutines admitting up to workers+queueCap
+// in-flight tasks (workers floored at 1, queueCap at 0).
+func NewPool(workers, queueCap int, reg *obs.Registry) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &Pool{
+		tasks: make(chan poolTask, workers+queueCap),
+		limit: int64(workers + queueCap),
+		reg:   reg,
+	}
+	reg.Gauge("server.pool.workers").Set(float64(workers))
+	reg.Gauge("server.pool.queue_cap").Set(float64(queueCap))
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.reg.Gauge("server.pool.queue_depth").Set(float64(len(p.tasks)))
+		err := t.ctx.Err()
+		if err == nil {
+			p.reg.Gauge("server.pool.busy").Set(float64(p.busy.Add(1)))
+			err = t.f(t.ctx)
+			p.reg.Gauge("server.pool.busy").Set(float64(p.busy.Add(-1)))
+		}
+		// A task whose requester already hung up is skipped, not run;
+		// either way it stops counting against admission.
+		p.inflight.Add(-1)
+		t.done <- err
+	}
+}
+
+// Run submits f and waits for it to finish. Admission is non-blocking:
+// exceeding the in-flight bound returns ErrSaturated without running f.
+// Cancellation is cooperative — f must honor ctx (the simulation passes
+// poll it at every quantum boundary), and a task still queued when its ctx
+// dies is skipped by the worker. Run always waits for the worker to release
+// the task, so callers may safely read state the closure wrote. Run must
+// not race with Close; the server drains HTTP before closing the pool.
+func (p *Pool) Run(ctx context.Context, f func(context.Context) error) error {
+	if p.inflight.Add(1) > p.limit {
+		p.inflight.Add(-1)
+		p.reg.Counter("server.pool.rejected").Inc()
+		return ErrSaturated
+	}
+	p.reg.Counter("server.pool.accepted").Inc()
+	t := poolTask{ctx: ctx, f: f, done: make(chan error, 1)}
+	// The channel holds limit tasks and admission bounds in-flight work to
+	// limit, so this send cannot block.
+	p.tasks <- t
+	return <-t.done
+}
+
+// Close stops accepting work and waits for the workers to drain the queue.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"pipecache/internal/core"
+	"pipecache/internal/cpisim"
+)
+
+// maxRequestBody bounds a request body; design-point requests are tiny, so
+// anything larger is hostile or corrupt.
+const maxRequestBody = 1 << 16
+
+// DesignRequest is the body of POST /v1/simulate: one design point of the
+// Section 5 analysis. Zero-valued optional fields take the lab's defaults
+// during normalization, so two requests that spell the same design point
+// differently share one cache entry.
+type DesignRequest struct {
+	// B and L are the branch and load delay slot counts (the pipeline
+	// depths of the L1-I and L1-D accesses).
+	B int `json:"b"`
+	L int `json:"l"`
+	// ISizeKW and DSizeKW are the per-side cache sizes in K-words; they
+	// must be members of the lab's configured size bank.
+	ISizeKW int `json:"isize_kw"`
+	DSizeKW int `json:"dsize_kw"`
+	// Loads selects the load-delay hiding scheme: "static" (default) or
+	// "dynamic".
+	Loads string `json:"loads,omitempty"`
+	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
+	// lab's default.
+	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+}
+
+// BestRequest is the body of POST /v1/best: a design-space optimization
+// over every (b, l, I-size, D-size) combination.
+type BestRequest struct {
+	// Loads selects the load-delay hiding scheme: "static" (default) or
+	// "dynamic".
+	Loads string `json:"loads,omitempty"`
+	// Symmetric restricts the search to b = l designs with an equal split.
+	Symmetric bool `json:"symmetric,omitempty"`
+	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
+	// lab's default.
+	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+}
+
+// decodeJSON strictly decodes one JSON value from r into v: unknown fields,
+// trailing data, and oversized bodies are errors, so malformed requests fail
+// fast instead of silently simulating the wrong design point.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// DecodeDesignRequest parses and validates a /v1/simulate body against the
+// lab's parameters, returning the normalized (default-applied) request.
+func DecodeDesignRequest(r io.Reader, p core.Params) (DesignRequest, error) {
+	var req DesignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	return req.normalize(p)
+}
+
+// normalize applies the lab defaults and validates every field.
+func (q DesignRequest) normalize(p core.Params) (DesignRequest, error) {
+	if q.Loads == "" {
+		q.Loads = cpisim.LoadStatic.String()
+	}
+	if _, err := parseLoadScheme(q.Loads); err != nil {
+		return q, err
+	}
+	if q.L2TimeNs == 0 {
+		q.L2TimeNs = p.L2TimeNs
+	}
+	if q.L2TimeNs < 0 || q.L2TimeNs > 1e6 {
+		return q, fmt.Errorf("l2_time_ns %g out of range", q.L2TimeNs)
+	}
+	if q.B < 0 || q.B > 3 || q.L < 0 || q.L > 3 {
+		return q, fmt.Errorf("delay slots b=%d l=%d out of the studied range 0-3", q.B, q.L)
+	}
+	if !inBank(q.ISizeKW, p.SizesKW) {
+		return q, fmt.Errorf("isize_kw %d not in the configured bank %v", q.ISizeKW, p.SizesKW)
+	}
+	if !inBank(q.DSizeKW, p.SizesKW) {
+		return q, fmt.Errorf("dsize_kw %d not in the configured bank %v", q.DSizeKW, p.SizesKW)
+	}
+	return q, nil
+}
+
+// DecodeBestRequest parses and validates a /v1/best body, returning the
+// normalized request.
+func DecodeBestRequest(r io.Reader, p core.Params) (BestRequest, error) {
+	var req BestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	return req.normalize(p)
+}
+
+func (q BestRequest) normalize(p core.Params) (BestRequest, error) {
+	if q.Loads == "" {
+		q.Loads = cpisim.LoadStatic.String()
+	}
+	if _, err := parseLoadScheme(q.Loads); err != nil {
+		return q, err
+	}
+	if q.L2TimeNs == 0 {
+		q.L2TimeNs = p.L2TimeNs
+	}
+	if q.L2TimeNs < 0 || q.L2TimeNs > 1e6 {
+		return q, fmt.Errorf("l2_time_ns %g out of range", q.L2TimeNs)
+	}
+	return q, nil
+}
+
+func parseLoadScheme(s string) (cpisim.LoadScheme, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return cpisim.LoadStatic, nil
+	case "dynamic":
+		return cpisim.LoadDynamic, nil
+	}
+	return 0, fmt.Errorf("unknown load scheme %q (want static or dynamic)", s)
+}
+
+func inBank(size int, bank []int) bool {
+	for _, s := range bank {
+		if s == size {
+			return true
+		}
+	}
+	return false
+}
+
+// requestKey derives the content address of one request: the endpoint name
+// plus the canonical JSON of the normalized request, hashed with SHA-256.
+// encoding/json marshals struct fields in declaration order, so the
+// marshaled form of a normalized request is canonical by construction.
+func requestKey(endpoint string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Requests are plain structs of scalars; marshaling cannot fail.
+		panic(fmt.Sprintf("server: marshaling %s cache key: %v", endpoint, err))
+	}
+	h := sha256.New()
+	io.WriteString(h, endpoint)
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies a deployed binary: module version, VCS revision, and
+// toolchain, read from the metadata the Go linker stamps into every build.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+// VersionInfo reads the running binary's build metadata. Binaries built
+// outside a VCS checkout (or under `go test`) report version "(devel)" with
+// no revision.
+func VersionInfo() BuildInfo {
+	info := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info as the `pipecache version` output line.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("pipecache %s", b.Version)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	if b.BuildTime != "" {
+		s += " (" + b.BuildTime + ")"
+	}
+	return s + " " + b.GoVersion
+}

@@ -46,6 +46,7 @@ import (
 	"pipecache/internal/obs"
 	"pipecache/internal/program"
 	"pipecache/internal/sched"
+	"pipecache/internal/server"
 	"pipecache/internal/timing"
 	"pipecache/internal/trace"
 )
@@ -284,3 +285,26 @@ func ApplySchedule(p *Program, b int) (*Program, *Translation, error) {
 
 // BranchProfile holds per-block branch bias measured on a training run.
 type BranchProfile = sched.Profile
+
+// HTTP design-space service (internal/server).
+type (
+	// Server exposes a Lab over HTTP/JSON with a content-addressed result
+	// cache, worker-pool backpressure, and live metrics (the `pipecache
+	// serve` subsystem).
+	Server = server.Server
+	// ServerConfig tunes the HTTP service; zero values take the defaults.
+	ServerConfig = server.Config
+	// DesignRequest is the body of POST /v1/simulate.
+	DesignRequest = server.DesignRequest
+	// BestRequest is the body of POST /v1/best.
+	BestRequest = server.BestRequest
+	// BuildInfo identifies a deployed binary (module version, VCS
+	// revision, toolchain).
+	BuildInfo = server.BuildInfo
+)
+
+// NewServer wraps a Lab with the HTTP design-space service.
+func NewServer(lab *Lab, cfg ServerConfig) (*Server, error) { return server.New(lab, cfg) }
+
+// VersionInfo reads the running binary's build metadata.
+func VersionInfo() BuildInfo { return server.VersionInfo() }
