@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full fuzz tables figures sweep ablations metrics serve golden ci clean
+.PHONY: all build test race vet bench bench-full bench-json fuzz tables figures sweep ablations metrics serve golden ci clean
 
 all: build vet test
 
@@ -25,6 +25,10 @@ bench:
 # Full-fidelity benchmark run (longer traces).
 bench-full:
 	PIPECACHE_BENCH_INSTS=2000000 $(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
+
+# Machine-readable simulator benchmark summary (archived by CI per commit).
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/

@@ -365,15 +365,45 @@ func BenchmarkSimInstrumented(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
 }
 
-// BenchmarkCacheAccess measures the raw cache model.
+// BenchmarkCacheAccess measures the raw cache model: the direct-mapped
+// fast path against the LRU set-search paths.
 func BenchmarkCacheAccess(b *testing.B) {
-	c, err := NewCache(CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 2, WriteBack: true})
+	for _, v := range []struct {
+		name  string
+		assoc int
+	}{
+		{"direct", 1},
+		{"2way", 2},
+		{"4way", 4},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			c, err := NewCache(CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: v.assoc, WriteBack: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(uint32(i*7)&0xfffff, i&7 == 0)
+			}
+		})
+	}
+}
+
+// BenchmarkCacheBankAccess measures the fused single-pass kernel over the
+// study's full power-of-two size ladder: one probe evaluates all six
+// configurations, so compare ns/op here against 6x the per-cache figure.
+func BenchmarkCacheBankAccess(b *testing.B) {
+	var cfgs []CacheConfig
+	for _, s := range []int{1, 2, 4, 8, 16, 32} {
+		cfgs = append(cfgs, CacheConfig{SizeKW: s, BlockWords: 4, Assoc: 1, WriteBack: true})
+	}
+	bank, err := NewCacheBank(cfgs)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Access(uint32(i*7)&0xfffff, i&7 == 0)
+		bank.Access(uint32(i*7)&0xfffff, i&7 == 0)
 	}
 }
 

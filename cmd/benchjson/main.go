@@ -1,0 +1,169 @@
+// Command benchjson runs the simulator's headline microbenchmarks through
+// testing.Benchmark and writes a machine-readable summary, so CI can
+// archive per-commit performance (make bench-json -> BENCH_sim.json)
+// without parsing `go test -bench` text output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pipecache"
+)
+
+// benchRecord is one benchmark's summary row.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+}
+
+// report is the BENCH_sim.json schema.
+type report struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Insts      int64         `json:"insts"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// simBench mirrors the root package's BenchmarkSimulatorThroughput /
+// BenchmarkSimInstrumented: one full espresso pass per iteration through
+// the fused cache banks, optionally with a metrics registry attached.
+func simBench(insts int64, instrumented bool) (func(b *testing.B) int64, error) {
+	spec, ok := pipecache.LookupBenchmark("espresso")
+	if !ok {
+		return nil, fmt.Errorf("espresso benchmark missing")
+	}
+	prog, err := pipecache.BuildProgram(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipecache.SimConfig{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []pipecache.CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []pipecache.CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	reg := pipecache.NewRegistry()
+	return func(b *testing.B) int64 {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			sim, err := pipecache.NewSim(cfg, []pipecache.Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if instrumented {
+				sim.SetObs(reg)
+			}
+			res, err := sim.Run(insts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Benches[0].Insts
+		}
+		return total
+	}, nil
+}
+
+// run measures one benchmark, deriving insts/s from the executed count
+// when the body reports one.
+func run(name string, body func(b *testing.B) int64) benchRecord {
+	var executed int64
+	r := testing.Benchmark(func(b *testing.B) {
+		executed = body(b)
+	})
+	rec := benchRecord{
+		Name:       name,
+		Iterations: r.N,
+		NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+	}
+	if executed > 0 && r.T > 0 {
+		rec.InstsPerSec = float64(executed) / r.T.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op", rec.Name, rec.NsPerOp)
+	if rec.InstsPerSec > 0 {
+		fmt.Fprintf(os.Stderr, " %14.0f insts/s", rec.InstsPerSec)
+	}
+	fmt.Fprintln(os.Stderr)
+	return rec
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	insts := flag.Int64("insts", 200_000, "instructions per simulator benchmark iteration")
+	flag.Parse()
+
+	rep := report{
+		Schema:     "pipecache-bench/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Insts:      *insts,
+	}
+
+	throughput, err := simBench(*insts, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	instrumented, err := simBench(*insts, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		run("BenchmarkSimulatorThroughput", throughput),
+		run("BenchmarkSimInstrumented", instrumented),
+	)
+
+	cacheCfg := pipecache.CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}
+	rep.Benchmarks = append(rep.Benchmarks, run("BenchmarkCacheAccess/direct", func(b *testing.B) int64 {
+		c, err := pipecache.NewCache(cacheCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint32(i*7)&0xfffff, i&7 == 0)
+		}
+		return 0
+	}))
+
+	var ladder []pipecache.CacheConfig
+	for _, s := range []int{1, 2, 4, 8, 16, 32} {
+		ladder = append(ladder, pipecache.CacheConfig{SizeKW: s, BlockWords: 4, Assoc: 1, WriteBack: true})
+	}
+	rep.Benchmarks = append(rep.Benchmarks, run("BenchmarkCacheBankAccess", func(b *testing.B) int64 {
+		bank, err := pipecache.NewCacheBank(ladder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bank.Access(uint32(i*7)&0xfffff, i&7 == 0)
+		}
+		return 0
+	}))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

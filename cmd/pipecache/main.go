@@ -23,6 +23,7 @@
 //	-benchmarks s  comma-separated benchmark subset (default: all 16)
 //	-metrics file  write a JSON metrics snapshot of the run to file
 //	-progress      report live sweep progress (points done/total, ETA)
+//	-sweep-workers N  sweep/ablation pool size (default GOMAXPROCS)
 package main
 
 import (
@@ -101,19 +102,21 @@ run "pipecache <command> -h" for flags.
 
 // cliOpts bundles the flags shared by every lab-driven subcommand.
 type cliOpts struct {
-	insts      *int64
-	benchmarks *string
-	metricsOut *string
-	progress   *bool
+	insts        *int64
+	benchmarks   *string
+	metricsOut   *string
+	progress     *bool
+	sweepWorkers *int
 }
 
 // commonFlags registers the shared flags on fs.
 func commonFlags(fs *flag.FlagSet) *cliOpts {
 	return &cliOpts{
-		insts:      fs.Int64("insts", 1_000_000, "instructions per benchmark per pass"),
-		benchmarks: fs.String("benchmarks", "", "comma-separated benchmark subset (default all)"),
-		metricsOut: fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit"),
-		progress:   fs.Bool("progress", false, "report live sweep progress on stderr"),
+		insts:        fs.Int64("insts", 1_000_000, "instructions per benchmark per pass"),
+		benchmarks:   fs.String("benchmarks", "", "comma-separated benchmark subset (default all)"),
+		metricsOut:   fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit"),
+		progress:     fs.Bool("progress", false, "report live sweep progress on stderr"),
+		sweepWorkers: fs.Int("sweep-workers", 0, "sweep/ablation worker-pool size (default GOMAXPROCS, 1 = serial)"),
 	}
 }
 
@@ -132,6 +135,7 @@ func buildLab(o *cliOpts) (*core.Lab, error) {
 	}
 	p := core.DefaultParams()
 	p.Insts = *o.insts
+	p.SweepWorkers = *o.sweepWorkers
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return nil, err

@@ -47,6 +47,7 @@ func runServe(args []string) error {
 	}
 	p := core.DefaultParams()
 	p.Insts = *o.insts
+	p.SweepWorkers = *o.sweepWorkers
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return err

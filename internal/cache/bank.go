@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pipecache/internal/obs"
+)
+
+// MaxBankConfigs is the widest Bank: the miss mask carries one bit per
+// configuration.
+const MaxBankConfigs = 64
+
+// bankMeta is the per-configuration geometry, hoisted out of the probe
+// loop so the hot path is pure shifts and masks.
+type bankMeta struct {
+	blockBits uint32 // log2 block size in words
+	tagShift  uint32 // log2 set count
+	setMask   uint32
+	assoc     int32
+	base      int32 // offset of this configuration's lines in the shared arrays
+	lines     int32 // number of lines (sets * assoc)
+	writeBack bool
+}
+
+// Bank simulates a whole ladder of cache configurations in one probe.
+// Miss counts do not depend on miss penalties, so a single pass over the
+// reference stream can evaluate every candidate size at once; Bank fuses
+// those models into one kernel with a structure-of-arrays layout shared
+// across configurations and all set/tag math precomputed. Each probe
+// returns a bitmask with bit i set when configuration i missed (the same
+// condition as !Cache.Access().Hit), and the per-configuration Stats are
+// bit-identical to running a separate Cache per configuration.
+//
+// Bank is not safe for concurrent use.
+type Bank struct {
+	cfgs []Config
+	meta []bankMeta
+
+	// Shared line state, indexed [meta.base + set*assoc + way].
+	tags  []uint32
+	valid []bool
+	dirty []bool
+	lru   []uint64
+	tick  uint64
+
+	stats []Stats
+
+	probeWords uint32 // smallest block size across configurations
+}
+
+// NewBank builds a fused bank over the configurations. At most
+// MaxBankConfigs configurations fit in the miss mask.
+func NewBank(cfgs []Config) (*Bank, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: empty bank")
+	}
+	if len(cfgs) > MaxBankConfigs {
+		return nil, fmt.Errorf("cache: bank of %d configs exceeds %d", len(cfgs), MaxBankConfigs)
+	}
+	b := &Bank{
+		cfgs:       append([]Config(nil), cfgs...),
+		meta:       make([]bankMeta, len(cfgs)),
+		stats:      make([]Stats, len(cfgs)),
+		probeWords: 0,
+	}
+	total := 0
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		sets := cfg.SizeKW * 1024 / (cfg.BlockWords * cfg.Assoc)
+		lines := sets * cfg.Assoc
+		b.meta[i] = bankMeta{
+			blockBits: uint32(bits.TrailingZeros32(uint32(cfg.BlockWords))),
+			tagShift:  uint32(bits.TrailingZeros32(uint32(sets))),
+			setMask:   uint32(sets - 1),
+			assoc:     int32(cfg.Assoc),
+			base:      int32(total),
+			lines:     int32(lines),
+			writeBack: cfg.WriteBack,
+		}
+		total += lines
+		if b.probeWords == 0 || uint32(cfg.BlockWords) < b.probeWords {
+			b.probeWords = uint32(cfg.BlockWords)
+		}
+	}
+	b.tags = make([]uint32, total)
+	b.valid = make([]bool, total)
+	b.dirty = make([]bool, total)
+	b.lru = make([]uint64, total)
+	return b, nil
+}
+
+// Len returns the number of configurations in the bank.
+func (b *Bank) Len() int { return len(b.cfgs) }
+
+// Config returns the i'th configuration.
+func (b *Bank) Config(i int) Config { return b.cfgs[i] }
+
+// Stats returns a copy of the i'th configuration's statistics.
+func (b *Bank) Stats(i int) Stats { return b.stats[i] }
+
+// ResetStats clears all statistics without touching line state.
+func (b *Bank) ResetStats() {
+	for i := range b.stats {
+		b.stats[i] = Stats{}
+	}
+}
+
+// ProbeWords returns the smallest block size in the bank, in words: the
+// alignment grain for AccessRange (a range must not cross a boundary of
+// this many words).
+func (b *Bank) ProbeWords() uint32 { return b.probeWords }
+
+// Access performs one read (write=false) or write (write=true) of the
+// word at addr against every configuration and returns the miss mask
+// (bit i set when configuration i did not hit).
+func (b *Bank) Access(addr uint32, write bool) uint64 {
+	return b.probe(addr, write, 1)
+}
+
+// AccessRange performs n consecutive word reads starting at addr with a
+// single tag compare per configuration. The whole range must lie within
+// one ProbeWords-sized block (and therefore within one block of every
+// configuration), which makes the grouped probe bit-identical to n
+// per-word reads: only the first word can miss, the remaining n-1 words
+// hit the line it just filled. Reads is advanced by n per configuration
+// so probe counters match the per-word model exactly.
+func (b *Bank) AccessRange(addr uint32, n int) uint64 {
+	return b.probe(addr, false, uint64(n))
+}
+
+func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
+	// One tick per probe (not per word): each probe touches at most one
+	// line per configuration, so relative last-use order — all LRU needs —
+	// is preserved exactly versus the per-access tick of Cache.
+	b.tick++
+	var miss uint64
+	prevBits := uint32(0xffffffff)
+	var block uint32
+	for ci := range b.meta {
+		m := &b.meta[ci]
+		// The block number only depends on the block size; the ladder
+		// shares one block size, so this recomputes at most once per
+		// distinct size rather than once per configuration.
+		if m.blockBits != prevBits {
+			block = addr >> m.blockBits
+			prevBits = m.blockBits
+		}
+		st := &b.stats[ci]
+		if write {
+			st.Writes += n
+		} else {
+			st.Reads += n
+		}
+		set := block & m.setMask
+		tag := block >> m.tagShift
+
+		if m.assoc == 1 {
+			// Direct-mapped fast path: one candidate line, no LRU.
+			i := int(m.base) + int(set)
+			if b.valid[i] && b.tags[i] == tag {
+				if write {
+					if m.writeBack {
+						b.dirty[i] = true
+					} else {
+						st.Throughs++
+					}
+				}
+				continue
+			}
+			miss |= 1 << uint(ci)
+			if write {
+				st.WriteMisses++
+				if !m.writeBack {
+					st.Throughs++
+					continue
+				}
+			} else {
+				st.ReadMisses++
+			}
+			if b.valid[i] && b.dirty[i] {
+				st.Writebacks++
+			}
+			b.valid[i] = true
+			b.dirty[i] = write
+			b.tags[i] = tag
+			continue
+		}
+
+		base := int(m.base) + int(set)*int(m.assoc)
+		hit := false
+		for w := 0; w < int(m.assoc); w++ {
+			i := base + w
+			if b.valid[i] && b.tags[i] == tag {
+				b.lru[i] = b.tick
+				if write {
+					if m.writeBack {
+						b.dirty[i] = true
+					} else {
+						st.Throughs++
+					}
+				}
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		miss |= 1 << uint(ci)
+		if write {
+			st.WriteMisses++
+			if !m.writeBack {
+				st.Throughs++
+				continue
+			}
+		} else {
+			st.ReadMisses++
+		}
+		victim := base
+		for w := 0; w < int(m.assoc); w++ {
+			i := base + w
+			if !b.valid[i] {
+				victim = i
+				break
+			}
+			if b.lru[i] < b.lru[victim] {
+				victim = i
+			}
+		}
+		if b.valid[victim] && b.dirty[victim] {
+			st.Writebacks++
+		}
+		// A write reaching the fill implies write-back (write-through
+		// write misses do not allocate), so the filled line's dirty bit
+		// is just the write flag.
+		b.valid[victim] = true
+		b.dirty[victim] = write
+		b.tags[victim] = tag
+		b.lru[victim] = b.tick
+	}
+	return miss
+}
+
+// Flush invalidates every line of every configuration, counting dirty
+// lines as writebacks, and leaves the other statistics alone.
+func (b *Bank) Flush() {
+	for ci := range b.meta {
+		m := &b.meta[ci]
+		for i := int(m.base); i < int(m.base+m.lines); i++ {
+			if b.valid[i] && b.dirty[i] {
+				b.stats[ci].Writebacks++
+			}
+			b.valid[i] = false
+			b.dirty[i] = false
+		}
+	}
+}
+
+// Publish folds every configuration's statistics into reg, naming each
+// configuration prefix + its Label().
+func (b *Bank) Publish(reg *obs.Registry, prefix string) {
+	for i, cfg := range b.cfgs {
+		PublishStats(reg, prefix+cfg.Label(), b.stats[i])
+	}
+}

@@ -112,7 +112,10 @@ type Cache struct {
 	cfg       Config
 	sets      int
 	blockBits uint
-	setMask   uint32
+	// tagShift is the total shift from a word address's block number to
+	// its tag (log2 of the set count), hoisted out of the per-access path.
+	tagShift uint
+	setMask  uint32
 
 	// Per-way arrays, indexed [set*assoc + way].
 	tags  []uint32
@@ -137,6 +140,7 @@ func New(cfg Config) (*Cache, error) {
 		cfg:       cfg,
 		sets:      sets,
 		blockBits: uint(bits.TrailingZeros32(uint32(cfg.BlockWords))),
+		tagShift:  uint(bits.TrailingZeros32(uint32(sets))),
 		setMask:   uint32(sets - 1),
 		tags:      make([]uint32, n),
 		valid:     make([]bool, n),
@@ -164,7 +168,12 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Publish merges them with one atomic add per metric when the owning
 // simulation pass completes. Call it once per run.
 func (c *Cache) Publish(reg *obs.Registry, prefix string) {
-	s := c.stats
+	PublishStats(reg, prefix, c.stats)
+}
+
+// PublishStats folds one cache's statistics into reg under prefix, using
+// the same counter names for every cache model (Cache, Bank).
+func PublishStats(reg *obs.Registry, prefix string, s Stats) {
 	reg.Counter(prefix + ".probes").Add(int64(s.Accesses()))
 	reg.Counter(prefix + ".reads").Add(int64(s.Reads))
 	reg.Counter(prefix + ".writes").Add(int64(s.Writes))
@@ -191,7 +200,7 @@ func (c *Cache) Flush() {
 func (c *Cache) Access(addr uint32, write bool) Result {
 	block := addr >> c.blockBits
 	set := int(block & c.setMask)
-	tag := block >> uint(bits.TrailingZeros32(uint32(c.sets)))
+	tag := block >> c.tagShift
 
 	if write {
 		c.stats.Writes++
@@ -199,6 +208,38 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 		c.stats.Reads++
 	}
 	c.tick++
+
+	// Direct-mapped fast path: one candidate line, no LRU bookkeeping.
+	if c.cfg.Assoc == 1 {
+		if c.valid[set] && c.tags[set] == tag {
+			if write {
+				if c.cfg.WriteBack {
+					c.dirty[set] = true
+				} else {
+					c.stats.Throughs++
+				}
+			}
+			return Result{Hit: true}
+		}
+		if write {
+			c.stats.WriteMisses++
+			if !c.cfg.WriteBack {
+				c.stats.Throughs++
+				return Result{}
+			}
+		} else {
+			c.stats.ReadMisses++
+		}
+		res := Result{Fill: true}
+		if c.valid[set] && c.dirty[set] {
+			c.stats.Writebacks++
+			res.Writeback = true
+		}
+		c.valid[set] = true
+		c.dirty[set] = write && c.cfg.WriteBack
+		c.tags[set] = tag
+		return res
+	}
 
 	base := set * c.cfg.Assoc
 	// Hit path.
@@ -258,7 +299,7 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 func (c *Cache) Contains(addr uint32) bool {
 	block := addr >> c.blockBits
 	set := int(block & c.setMask)
-	tag := block >> uint(bits.TrailingZeros32(uint32(c.sets)))
+	tag := block >> c.tagShift
 	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
 		i := base + w

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pipecache/internal/btb"
@@ -46,26 +47,30 @@ func (l *Lab) AssocStudy(sizeKW int) (*AssocStudyResult, error) {
 		})
 	}
 	res := &AssocStudyResult{SizeKW: sizeKW}
-	for _, depth := range []int{0, 2, 3} {
-		pass, err := l.RunPass(cpisim.Config{
+	depths := []int{0, 2, 3}
+	rowsByDepth := make([][]AssocRow, len(depths))
+	err := l.forEach(context.Background(), len(depths), func(ctx context.Context, di int) error {
+		depth := depths[di]
+		pass, err := l.RunPassContext(ctx, cpisim.Config{
 			BranchSlots: depth,
 			ICaches:     bank,
 			DCaches:     bank,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows := make([]AssocRow, 0, len(assocs))
 		for ai, a := range assocs {
 			tcpu, err := l.P.Model.TCPUAssoc(sizeKW, depth, a)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pen := l.P.PenaltyCycles(tcpu)
 			cpi, err := pass.CPIFor(depth, cpisim.LoadStatic, ai, ai, pen, pen)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Rows = append(res.Rows, AssocRow{
+			rows = append(rows, AssocRow{
 				Depth:     depth,
 				Assoc:     a,
 				MissRatio: (pass.IMissRatio(ai) + pass.DMissRatio(ai)) / 2,
@@ -74,6 +79,14 @@ func (l *Lab) AssocStudy(sizeKW int) (*AssocStudyResult, error) {
 				TPINs:     cpi * tcpu,
 			})
 		}
+		rowsByDepth[di] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsByDepth {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -255,28 +268,33 @@ type WritePolicyStudyResult struct {
 	Rows []WritePolicyRow
 }
 
-// WritePolicyStudy runs both policies across the size bank.
+// WritePolicyStudy runs both policies across the size bank (the two
+// passes run concurrently on the lab's worker pool).
 func (l *Lab) WritePolicyStudy(penalty int) (*WritePolicyStudyResult, error) {
 	res := &WritePolicyStudyResult{}
-	for _, wb := range []bool{true, false} {
+	policies := []bool{true, false}
+	rowsByPolicy := make([][]WritePolicyRow, len(policies))
+	err := l.forEach(context.Background(), len(policies), func(ctx context.Context, pi int) error {
+		wb := policies[pi]
 		var bank []cache.Config
 		for _, s := range l.P.SizesKW {
 			bank = append(bank, cache.Config{
 				SizeKW: s, BlockWords: l.P.BlockWords, Assoc: 1, WriteBack: wb,
 			})
 		}
-		pass, err := l.RunPass(cpisim.Config{DCaches: bank})
+		pass, err := l.RunPassContext(ctx, cpisim.Config{DCaches: bank})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		policy := "write-back"
 		if !wb {
 			policy = "write-through"
 		}
+		rows := make([]WritePolicyRow, 0, len(l.P.SizesKW))
 		for si, s := range l.P.SizesKW {
 			all, err := pass.CPI(-1, si, 0, penalty)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Buffered stores: only read misses stall.
 			var insts, stalls int64
@@ -286,7 +304,7 @@ func (l *Lab) WritePolicyStudy(penalty int) (*WritePolicyStudyResult, error) {
 				stalls += bch.DReadMisses[si] * int64(penalty)
 			}
 			buffered := 1 + float64(stalls)/float64(insts)
-			res.Rows = append(res.Rows, WritePolicyRow{
+			rows = append(rows, WritePolicyRow{
 				SizeKW:      s,
 				Policy:      policy,
 				DMissRatio:  pass.DMissRatio(si),
@@ -294,6 +312,14 @@ func (l *Lab) WritePolicyStudy(penalty int) (*WritePolicyStudyResult, error) {
 				CPIBuffered: buffered,
 			})
 		}
+		rowsByPolicy[pi] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsByPolicy {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -325,35 +351,40 @@ type BTBSizeStudyResult struct {
 	Rows []BTBSizeRow
 }
 
-// BTBSizeStudy evaluates BTB capacities with the full suite.
+// BTBSizeStudy evaluates BTB capacities with the full suite, one pooled
+// pass per capacity.
 func (l *Lab) BTBSizeStudy(entries []int) (*BTBSizeStudyResult, error) {
-	res := &BTBSizeStudyResult{}
-	for _, n := range entries {
-		cfg := btb.Config{Entries: n, Assoc: 1}
-		pass, err := l.RunPass(cpisim.Config{
+	res := &BTBSizeStudyResult{Rows: make([]BTBSizeRow, len(entries))}
+	err := l.forEach(context.Background(), len(entries), func(ctx context.Context, i int) error {
+		cfg := btb.Config{Entries: entries[i], Assoc: 1}
+		pass, err := l.RunPassContext(ctx, cpisim.Config{
 			BranchScheme: cpisim.BranchBTB,
 			BTB:          cfg,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var hits, lookups int64
-		for i := range pass.Benches {
-			b := &pass.Benches[i]
+		for bi := range pass.Benches {
+			b := &pass.Benches[bi]
 			hits += b.BTBOutcomes[0] + b.BTBOutcomes[1] + b.BTBOutcomes[2]
 			for _, c := range b.BTBOutcomes {
 				lookups += c
 			}
 		}
 		row := BTBSizeRow{
-			Entries:      n,
+			Entries:      entries[i],
 			StorageBytes: cfg.StorageBytes(),
 			CyclesPerCTI: 1 + pass.BTBStallPerCTIFor(2),
 		}
 		if lookups > 0 {
 			row.HitRatio = float64(hits) / float64(lookups)
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -386,26 +417,33 @@ type ProfileStudyResult struct {
 }
 
 // ProfileStudy trains per-benchmark branch profiles on a different seed
-// and compares heuristic, profiled, and BTB schemes.
+// and compares heuristic, profiled, and BTB schemes. Profile training and
+// the per-depth profiled passes both run on the lab's worker pool.
 func (l *Lab) ProfileStudy() (*ProfileStudyResult, error) {
-	// Train profiles once.
+	// Train profiles once, one independent collection per benchmark.
 	profiles := make([]*sched.Profile, len(l.Suite.Progs))
-	for i, p := range l.Suite.Progs {
-		prof, err := sched.CollectProfile(p, l.Suite.Specs[i].Seed^0xBEEF, l.P.Insts/2)
+	err := l.forEach(context.Background(), len(l.Suite.Progs), func(_ context.Context, i int) error {
+		prof, err := sched.CollectProfile(l.Suite.Progs[i], l.Suite.Specs[i].Seed^0xBEEF, l.P.Insts/2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profiles[i] = prof
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	btbPass, err := l.BTBPass()
 	if err != nil {
 		return nil, err
 	}
-	res := &ProfileStudyResult{}
-	for b := 1; b <= 3; b++ {
-		heur, err := l.StaticPass(b)
+	depths := []int{1, 2, 3}
+	res := &ProfileStudyResult{Rows: make([]ProfileRow, len(depths))}
+	err = l.forEach(context.Background(), len(depths), func(ctx context.Context, di int) error {
+		b := depths[di]
+		heur, err := l.StaticPassContext(ctx, b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ws := l.workloads()
 		for i := range ws {
@@ -413,18 +451,22 @@ func (l *Lab) ProfileStudy() (*ProfileStudyResult, error) {
 		}
 		sim, err := cpisim.New(cpisim.Config{BranchSlots: b, Quantum: l.P.Quantum}, ws)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prof, err := sim.Run(l.P.Insts)
+		prof, err := sim.RunContext(ctx, l.P.Insts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, ProfileRow{
+		res.Rows[di] = ProfileRow{
 			Slots:                 b,
 			HeuristicCyclesPerCTI: 1 + heur.BranchStallPerCTI(),
 			ProfiledCyclesPerCTI:  1 + prof.BranchStallPerCTI(),
 			BTBCyclesPerCTI:       1 + btbPass.BTBStallPerCTIFor(b),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -458,29 +500,34 @@ type QuantumStudyResult struct {
 	Rows    []QuantumRow
 }
 
-// QuantumStudy sweeps the context-switch interval at a fixed cache pair.
+// QuantumStudy sweeps the context-switch interval at a fixed cache pair,
+// one pooled pass per quantum.
 func (l *Lab) QuantumStudy(sizeKW, penalty int, quanta []int64) (*QuantumStudyResult, error) {
 	cc := cache.Config{SizeKW: sizeKW, BlockWords: l.P.BlockWords, Assoc: 1, WriteBack: true}
-	res := &QuantumStudyResult{SizeKW: sizeKW, Penalty: penalty}
-	for _, q := range quanta {
-		pass, err := l.RunPass(cpisim.Config{
+	res := &QuantumStudyResult{SizeKW: sizeKW, Penalty: penalty, Rows: make([]QuantumRow, len(quanta))}
+	err := l.forEach(context.Background(), len(quanta), func(ctx context.Context, i int) error {
+		pass, err := l.RunPassContext(ctx, cpisim.Config{
 			ICaches: []cache.Config{cc},
 			DCaches: []cache.Config{cc},
-			Quantum: q,
+			Quantum: quanta[i],
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cpi, err := pass.CPI(0, 0, penalty, penalty)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, QuantumRow{
-			Quantum:    q,
+		res.Rows[i] = QuantumRow{
+			Quantum:    quanta[i],
 			IMissRatio: pass.IMissRatio(0),
 			DMissRatio: pass.DMissRatio(0),
 			CPI:        cpi,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

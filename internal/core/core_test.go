@@ -18,7 +18,7 @@ var (
 	labErr  error
 )
 
-func getLab(t *testing.T) *Lab {
+func getLab(t testing.TB) *Lab {
 	t.Helper()
 	labOnce.Do(func() {
 		var specs []gen.Spec

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipecache/internal/cache"
@@ -41,6 +43,11 @@ type Params struct {
 	// study uses it to check that conclusions do not depend on one
 	// particular random run.
 	SeedOffset uint64
+	// SweepWorkers bounds the worker pool used by the design-space sweeps
+	// and the uncached ablation passes (each point is an independent
+	// simulation, so they parallelize cleanly). Zero means GOMAXPROCS; one
+	// forces the serial path.
+	SweepWorkers int
 }
 
 // DefaultParams returns the study's defaults.
@@ -328,6 +335,75 @@ func (l *Lab) Prewarm() error {
 		}
 	}
 	return nil
+}
+
+// sweepWorkers resolves the configured pool size.
+func (l *Lab) sweepWorkers() int {
+	if l.P.SweepWorkers > 0 {
+		return l.P.SweepWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(ctx, 0) ... fn(ctx, n-1) on a bounded pool of
+// sweepWorkers() goroutines. Results must be written into index i of a
+// caller-owned slice so the output order is independent of scheduling;
+// any serial reduction then happens after forEach returns, which keeps
+// every sweep deterministic at any worker count. The first error (by
+// lowest index, so error reporting is deterministic too) cancels the
+// pool's context and is returned; with one worker (or one item) the loop
+// degenerates to the plain serial sweep.
+func (l *Lab) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	workers := l.sweepWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next   int64 = -1
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
 }
 
 // workloads returns the suite's workloads with the lab's seed offset

@@ -148,16 +148,16 @@ func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric b
 }
 
 // BestDesignContext is BestDesign with cooperative cancellation, checked at
-// every design point.
+// every design point. The candidate points are independent (the memoized
+// passes behind them are single-flighted), so they are evaluated on the
+// lab's bounded worker pool; the minimum is then reduced serially in
+// enumeration order, which preserves the serial sweep's earliest-wins
+// tie-break at every worker count.
 func (l *Lab) BestDesignContext(ctx context.Context, l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool) (*Optimum, error) {
-	total := int64(16 * len(l.P.SizesKW) * len(l.P.SizesKW))
-	if symmetric {
-		total = int64(4 * len(l.P.SizesKW))
+	type candidate struct {
+		b, ld, iSize, dSize int
 	}
-	l.progress.StartPhase("design-space sweep", total)
-	defer l.progress.Finish()
-	best := TPIPoint{TPINs: math.Inf(1)}
-	n := 0
+	var cands []candidate
 	for b := 0; b <= 3; b++ {
 		for ld := 0; ld <= 3; ld++ {
 			if symmetric && ld != b {
@@ -168,20 +168,34 @@ func (l *Lab) BestDesignContext(ctx context.Context, l2TimeNs float64, scheme cp
 					if symmetric && iSize != dSize {
 						continue
 					}
-					pt, err := l.TPIContext(ctx, b, ld, iSize, dSize, scheme, l2TimeNs)
-					if err != nil {
-						return nil, err
-					}
-					n++
-					l.progress.Step(1)
-					if pt.TPINs < best.TPINs {
-						best = pt
-					}
+					cands = append(cands, candidate{b, ld, iSize, dSize})
 				}
 			}
 		}
 	}
-	return &Optimum{Best: best, Evaluated: n}, nil
+	l.progress.StartPhase("design-space sweep", int64(len(cands)))
+	defer l.progress.Finish()
+	pts := make([]TPIPoint, len(cands))
+	err := l.forEach(ctx, len(cands), func(ctx context.Context, i int) error {
+		c := cands[i]
+		pt, err := l.TPIContext(ctx, c.b, c.ld, c.iSize, c.dSize, scheme, l2TimeNs)
+		if err != nil {
+			return err
+		}
+		pts[i] = pt
+		l.progress.Step(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := TPIPoint{TPINs: math.Inf(1)}
+	for _, pt := range pts {
+		if pt.TPINs < best.TPINs {
+			best = pt
+		}
+	}
+	return &Optimum{Best: best, Evaluated: len(cands)}, nil
 }
 
 // DynamicBreakEven returns how much tCPU could grow (as a fraction) before
@@ -347,24 +361,39 @@ func (l *Lab) AsymmetryStudy(l2TimeNs float64) (*AsymmetryStudyResult, error) {
 	l.progress.StartPhase("asymmetry study", total)
 	defer l.progress.Finish()
 	for _, cl := range classes {
-		best := TPIPoint{TPINs: math.Inf(1)}
+		type candidate struct {
+			b, ld, iSize, dSize int
+		}
+		var cands []candidate
 		for b := 0; b <= 3; b++ {
 			for ld := 0; ld <= 3; ld++ {
 				for _, iSize := range l.P.SizesKW {
 					for _, dSize := range l.P.SizesKW {
-						if !cl.ok(b, ld, iSize, dSize) {
-							continue
-						}
-						pt, err := l.TPI(b, ld, iSize, dSize, cpisim.LoadStatic, l2TimeNs)
-						if err != nil {
-							return nil, err
-						}
-						l.progress.Step(1)
-						if pt.TPINs < best.TPINs {
-							best = pt
+						if cl.ok(b, ld, iSize, dSize) {
+							cands = append(cands, candidate{b, ld, iSize, dSize})
 						}
 					}
 				}
+			}
+		}
+		pts := make([]TPIPoint, len(cands))
+		err := l.forEach(context.Background(), len(cands), func(ctx context.Context, i int) error {
+			c := cands[i]
+			pt, err := l.TPIContext(ctx, c.b, c.ld, c.iSize, c.dSize, cpisim.LoadStatic, l2TimeNs)
+			if err != nil {
+				return err
+			}
+			pts[i] = pt
+			l.progress.Step(1)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := TPIPoint{TPINs: math.Inf(1)}
+		for _, pt := range pts {
+			if pt.TPINs < best.TPINs {
+				best = pt
 			}
 		}
 		res.Rows = append(res.Rows, AsymmetryRow{Class: cl.name, Best: best})

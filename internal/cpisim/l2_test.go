@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pipecache/internal/cache"
+	"pipecache/internal/gen"
 )
 
 func l2cfg(sizes ...int) L2Config {
@@ -106,6 +107,109 @@ func TestL2BiggerNeverWorse(t *testing.T) {
 	}
 	if res.L2MissRatio(1) > res.L2MissRatio(0) {
 		t.Fatal("bigger L2 missed more")
+	}
+}
+
+// runL2Designated executes a fixed real workload against the given L1
+// banks and a single unified L2 fed by the designated indices.
+func runL2Designated(t *testing.T, icfgs, dcfgs []cache.Config, iIdx, dIdx int) *BenchResult {
+	t.Helper()
+	spec, ok := gen.LookupSpec("espresso")
+	if !ok {
+		t.Fatal("espresso spec missing")
+	}
+	p, err := gen.Build(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		ICaches: icfgs,
+		DCaches: dcfgs,
+		L2: L2Config{
+			Caches: []cache.Config{{SizeKW: 32, BlockWords: 16, Assoc: 2, WriteBack: true}},
+			IIndex: iIdx,
+			DIndex: dIdx,
+		},
+	}
+	sim, err := New(cfg, []Workload{{Prog: p, Seed: spec.Seed, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res.Benches[0]
+}
+
+// TestL2StreamFollowsDesignatedIndex pins the L2 probe condition of the
+// fused-bank kernel: the L2 reference stream is exactly the union of the
+// designated I and D configurations' misses — one L2 probe per designated
+// miss, regardless of what the other configurations in the bank do.
+func TestL2StreamFollowsDesignatedIndex(t *testing.T) {
+	small := cache.Config{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: true}
+	big := cache.Config{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}
+
+	b := runL2Designated(t, []cache.Config{small, big}, []cache.Config{small, big}, 1, 1)
+	if b.L2 == nil {
+		t.Fatal("no L2 result")
+	}
+	// The smaller configurations must genuinely miss more, so the test
+	// distinguishes "fed by the designated config" from "fed by any".
+	if b.IMisses[0] <= b.IMisses[1] {
+		t.Fatalf("1KW I-cache (%d misses) not worse than 8KW (%d)", b.IMisses[0], b.IMisses[1])
+	}
+	want := b.IMisses[1] + b.DReadMisses[1] + b.DWriteMisses[1]
+	if b.L2.Accesses != want {
+		t.Fatalf("L2 accesses %d != designated L1 misses %d (I %d + Dr %d + Dw %d)",
+			b.L2.Accesses, want, b.IMisses[1], b.DReadMisses[1], b.DWriteMisses[1])
+	}
+	if b.L2.Misses[0] > b.L2.Accesses {
+		t.Fatalf("L2 misses %d exceed accesses %d", b.L2.Misses[0], b.L2.Accesses)
+	}
+
+	// Redesignating the smaller configuration must enlarge the L2 stream
+	// to that configuration's miss count.
+	worse := runL2Designated(t, []cache.Config{small, big}, []cache.Config{small, big}, 0, 0)
+	wantWorse := worse.IMisses[0] + worse.DReadMisses[0] + worse.DWriteMisses[0]
+	if worse.L2.Accesses != wantWorse {
+		t.Fatalf("L2 accesses %d != designated (index 0) L1 misses %d", worse.L2.Accesses, wantWorse)
+	}
+	if worse.L2.Accesses <= b.L2.Accesses {
+		t.Fatalf("designating the smaller L1 did not grow the L2 stream: %d vs %d",
+			worse.L2.Accesses, b.L2.Accesses)
+	}
+}
+
+// TestL2StreamUnaffectedByBankMates is the probe-ordering regression for
+// the fused kernel: the designated configuration's misses — and therefore
+// the entire L2 stream, access for access — must be identical whether the
+// designated cache shares a bank with other configurations or runs alone.
+// A kernel that forwarded the wrong bit of the miss mask to the L2, or
+// probed the L2 more than once per reference, would skew these counts.
+func TestL2StreamUnaffectedByBankMates(t *testing.T) {
+	small := cache.Config{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: true}
+	mid := cache.Config{SizeKW: 2, BlockWords: 8, Assoc: 2, WriteBack: false}
+	big := cache.Config{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}
+
+	shared := runL2Designated(t, []cache.Config{small, mid, big}, []cache.Config{small, mid, big}, 2, 2)
+	alone := runL2Designated(t, []cache.Config{big}, []cache.Config{big}, 0, 0)
+
+	if shared.IMisses[2] != alone.IMisses[0] {
+		t.Fatalf("designated I misses differ with bank mates: %d vs %d", shared.IMisses[2], alone.IMisses[0])
+	}
+	if shared.DReadMisses[2] != alone.DReadMisses[0] || shared.DWriteMisses[2] != alone.DWriteMisses[0] {
+		t.Fatalf("designated D misses differ with bank mates: %d/%d vs %d/%d",
+			shared.DReadMisses[2], shared.DWriteMisses[2], alone.DReadMisses[0], alone.DWriteMisses[0])
+	}
+	if shared.L2.Accesses != alone.L2.Accesses {
+		t.Fatalf("L2 accesses differ with bank mates: %d vs %d", shared.L2.Accesses, alone.L2.Accesses)
+	}
+	if shared.L2.Misses[0] != alone.L2.Misses[0] {
+		t.Fatalf("L2 misses differ with bank mates: %d vs %d", shared.L2.Misses[0], alone.L2.Misses[0])
+	}
+	if shared.L2.Accesses == 0 {
+		t.Fatal("degenerate test: no L2 traffic")
 	}
 }
 

@@ -70,14 +70,14 @@ func (s *Sim) publish(res *Result) {
 	reg.Counter("sched.slots_predicted").Add(predicted)
 	reg.Counter("sched.slots_noop").Add(noops)
 
-	for _, c := range s.icaches {
-		c.Publish(reg, "cache.l1i."+c.Config().Label())
+	if s.ibank != nil {
+		s.ibank.Publish(reg, "cache.l1i.")
 	}
-	for _, c := range s.dcaches {
-		c.Publish(reg, "cache.l1d."+c.Config().Label())
+	if s.dbank != nil {
+		s.dbank.Publish(reg, "cache.l1d.")
 	}
-	for _, c := range s.l2caches {
-		c.Publish(reg, "cache.l2."+c.Config().Label())
+	if s.l2bank != nil {
+		s.l2bank.Publish(reg, "cache.l2.")
 	}
 	if s.btb != nil {
 		s.btb.Publish(reg, "btb")

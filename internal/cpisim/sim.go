@@ -3,6 +3,7 @@ package cpisim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"pipecache/internal/btb"
 	"pipecache/internal/cache"
@@ -28,20 +29,30 @@ type Workload struct {
 // Sim runs a multiprogrammed suite against shared caches (and BTB),
 // context-switching between the processes every Quantum instructions, as
 // the paper's multiprogramming traces do.
+//
+// Each cache level is a fused cache.Bank: every candidate configuration
+// of the level is evaluated by one probe returning a miss bitmask, rather
+// than by a separate Cache probed per configuration. The interpreter
+// drives the banks through its compact event stream (interp.RunEvents),
+// so the per-event work is a direct switch dispatch instead of interface
+// calls.
 type Sim struct {
-	cfg      Config
-	icaches  []*cache.Cache
-	dcaches  []*cache.Cache
-	l2caches []*cache.Cache
-	btb      *btb.BTB
-	benches  []*benchState
-	obs      *obs.Registry
+	cfg     Config
+	ibank   *cache.Bank // nil when no I-caches are configured
+	dbank   *cache.Bank // nil when no D-caches are configured
+	l2bank  *cache.Bank // nil when no two-level hierarchy is configured
+	btb     *btb.BTB
+	benches []*benchState
+	evbuf   []interp.Event
+	obs     *obs.Registry
 }
 
 type benchState struct {
 	res  BenchResult
 	it   *interp.Interp
+	prog *program.Program
 	xlat *sched.Translation
+	sink *benchSink
 	skip int // delay-slot instructions already executed for the next block
 
 	// Deferred BTB resolution: the target address of a taken CTI is the
@@ -65,19 +76,16 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 	cfg = cfg.withDefaults()
 	s := &Sim{cfg: cfg}
 
-	for _, cc := range cfg.ICaches {
-		c, err := cache.New(cc)
-		if err != nil {
+	var err error
+	if len(cfg.ICaches) > 0 {
+		if s.ibank, err = cache.NewBank(cfg.ICaches); err != nil {
 			return nil, err
 		}
-		s.icaches = append(s.icaches, c)
 	}
-	for _, cc := range cfg.DCaches {
-		c, err := cache.New(cc)
-		if err != nil {
+	if len(cfg.DCaches) > 0 {
+		if s.dbank, err = cache.NewBank(cfg.DCaches); err != nil {
 			return nil, err
 		}
-		s.dcaches = append(s.dcaches, c)
 	}
 	if cfg.BranchScheme == BranchBTB {
 		b, err := btb.New(cfg.BTB)
@@ -86,13 +94,12 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		}
 		s.btb = b
 	}
-	for _, cc := range cfg.L2.Caches {
-		c, err := cache.New(cc)
-		if err != nil {
+	if len(cfg.L2.Caches) > 0 {
+		if s.l2bank, err = cache.NewBank(cfg.L2.Caches); err != nil {
 			return nil, err
 		}
-		s.l2caches = append(s.l2caches, c)
 	}
+	s.evbuf = make([]interp.Event, 4096)
 
 	slots := cfg.BranchSlots
 	if cfg.BranchScheme == BranchBTB {
@@ -113,7 +120,8 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs := &benchState{it: it, xlat: xlat}
+		bs := &benchState{it: it, prog: w.Prog, xlat: xlat}
+		bs.sink = &benchSink{s: s, b: bs}
 		bs.res.Name = w.Prog.Name
 		bs.res.Weight = w.Weight
 		bs.res.IMisses = make([]int64, len(cfg.ICaches))
@@ -162,8 +170,7 @@ func (s *Sim) RunContext(ctx context.Context, instsPerBench int64) (*Result, err
 			if q > remaining[i] {
 				q = remaining[i]
 			}
-			h := benchHandler{s: s, b: b}
-			ran := b.it.Run(q, h)
+			ran := b.it.RunEvents(q, s.evbuf, b.sink)
 			remaining[i] -= ran
 			if remaining[i] <= 0 {
 				active--
@@ -178,19 +185,41 @@ func (s *Sim) RunContext(ctx context.Context, instsPerBench int64) (*Result, err
 	return res, nil
 }
 
-// benchHandler adapts interp events for one workload onto the shared
-// simulator state.
-type benchHandler struct {
+// benchSink decodes one workload's event stream onto the shared simulator
+// state. The decode loop dispatches with a switch to concrete methods, so
+// the per-event path inlines instead of going through an interface.
+type benchSink struct {
 	s *Sim
 	b *benchState
 }
 
-// Block fetches the translated image of the entered block through the
+// Events consumes one batch of interpreter events in program order.
+func (h *benchSink) Events(evs []interp.Event) {
+	for i := range evs {
+		ev := evs[i]
+		switch ev.Kind {
+		case interp.EvBlock:
+			h.block(int(ev.A), int64(ev.B))
+		case interp.EvLoadUse:
+			h.loadUse(int(ev.A), int(ev.B))
+		case interp.EvMemLoad:
+			h.mem(ev.A, false)
+		case interp.EvMemStore:
+			h.mem(ev.A, true)
+		case interp.EvCTITaken:
+			h.cti(int(ev.A), true)
+		case interp.EvCTINotTaken:
+			h.cti(int(ev.A), false)
+		}
+	}
+}
+
+// block fetches the translated image of the entered block through the
 // I-cache bank, honouring delay-slot skips from a correctly predicted
 // taken CTI.
-func (h benchHandler) Block(blk *program.Block) {
+func (h *benchSink) block(id int, nInsts int64) {
 	b := h.b
-	x := &b.xlat.Blocks[blk.ID]
+	x := &b.xlat.Blocks[id]
 
 	if b.btbPending {
 		h.resolveBTB(x.NewAddr)
@@ -204,41 +233,62 @@ func (h benchHandler) Block(blk *program.Block) {
 		// which execute and are wasted.
 		b.res.BranchStall += int64(pad)
 	}
-	addr, n := b.xlat.Fetches(blk.ID, skip)
+	addr, n := b.xlat.Fetches(id, skip)
 	h.fetchRange(addr, n)
-	b.res.Insts += int64(len(blk.Insts))
+	b.res.Insts += nInsts
 }
 
-func (h benchHandler) fetchRange(addr uint32, n int) {
+// fetchRange sends n consecutive instruction words through the I-cache
+// bank, one grouped probe per minimum-block-sized run: the block number
+// is derived once per run rather than once per word per cache size, and
+// within a run only the first word can miss (the line it fills stays
+// resident), so the grouped probe is bit-identical to per-word probing.
+func (h *benchSink) fetchRange(addr uint32, n int) {
 	h.b.res.IFetches += int64(n)
-	for i := 0; i < n; i++ {
-		a := addr + uint32(i)
-		for ci, c := range h.s.icaches {
-			if r := c.Access(a, false); !r.Hit {
-				h.b.res.IMisses[ci]++
-				if ci == h.s.cfg.L2.IIndex {
-					h.accessL2(a, false)
-				}
-			}
+	ib := h.s.ibank
+	if ib == nil {
+		return
+	}
+	probe := ib.ProbeWords()
+	for n > 0 {
+		run := int(probe - addr&(probe-1))
+		if run > n {
+			run = n
+		}
+		if miss := ib.AccessRange(addr, run); miss != 0 {
+			h.iMisses(addr, miss)
+		}
+		addr += uint32(run)
+		n -= run
+	}
+}
+
+// iMisses books the missing configurations of one I-fetch probe and
+// forwards the designated configuration's miss to the L2.
+func (h *benchSink) iMisses(addr uint32, miss uint64) {
+	for m := miss; m != 0; m &= m - 1 {
+		ci := bits.TrailingZeros64(m)
+		h.b.res.IMisses[ci]++
+		if ci == h.s.cfg.L2.IIndex {
+			h.accessL2(addr, false)
 		}
 	}
 }
 
 // accessL2 sends a designated L1 miss through the unified L2 bank.
-func (h benchHandler) accessL2(addr uint32, write bool) {
+func (h *benchSink) accessL2(addr uint32, write bool) {
 	if h.b.res.L2 == nil {
 		return
 	}
 	h.b.res.L2.Accesses++
-	for ci, c := range h.s.l2caches {
-		if r := c.Access(addr, write); !r.Hit {
-			h.b.res.L2.Misses[ci]++
-		}
+	miss := h.s.l2bank.Access(addr, write)
+	for m := miss; m != 0; m &= m - 1 {
+		h.b.res.L2.Misses[bits.TrailingZeros64(m)]++
 	}
 }
 
-// Mem sends the data reference through the D-cache bank.
-func (h benchHandler) Mem(blk *program.Block, idx int, addr uint32, isStore bool) {
+// mem sends the data reference through the D-cache bank.
+func (h *benchSink) mem(addr uint32, isStore bool) {
 	b := h.b
 	if isStore {
 		b.res.DWrites++
@@ -246,24 +296,28 @@ func (h benchHandler) Mem(blk *program.Block, idx int, addr uint32, isStore bool
 		b.res.DReads++
 		b.res.Loads++
 	}
-	for ci, c := range h.s.dcaches {
-		if r := c.Access(addr, isStore); !r.Hit {
-			if isStore {
-				b.res.DWriteMisses[ci]++
-			} else {
-				b.res.DReadMisses[ci]++
-			}
-			if ci == h.s.cfg.L2.DIndex {
-				h.accessL2(addr, isStore)
-			}
+	db := h.s.dbank
+	if db == nil {
+		return
+	}
+	miss := db.Access(addr, isStore)
+	for m := miss; m != 0; m &= m - 1 {
+		ci := bits.TrailingZeros64(m)
+		if isStore {
+			b.res.DWriteMisses[ci]++
+		} else {
+			b.res.DReadMisses[ci]++
+		}
+		if ci == h.s.cfg.L2.DIndex {
+			h.accessL2(addr, isStore)
 		}
 	}
 }
 
-// CTI applies the branch-handling scheme to the resolved control transfer.
-func (h benchHandler) CTI(blk *program.Block, taken bool) {
+// cti applies the branch-handling scheme to the resolved control transfer.
+func (h *benchSink) cti(id int, taken bool) {
 	b := h.b
-	x := &b.xlat.Blocks[blk.ID]
+	x := &b.xlat.Blocks[id]
 	b.res.CTIs++
 
 	// Static prediction bookkeeping (Table 3); valid in both schemes
@@ -282,12 +336,12 @@ func (h benchHandler) CTI(blk *program.Block, taken bool) {
 
 	switch h.s.cfg.BranchScheme {
 	case BranchStatic:
-		b.res.BranchStall += int64(b.xlat.WastedSlots(blk.ID, taken))
+		b.res.BranchStall += int64(b.xlat.WastedSlots(id, taken))
 		if !x.PredTaken && taken {
 			// Predicted not-taken but taken: the s sequential delay-slot
 			// instructions were fetched (and squashed) from the
 			// fall-through block before control transferred.
-			if ft := blk.Fallthrough; ft != program.None {
+			if ft := b.prog.Block(id).Fallthrough; ft != program.None {
 				fx := &b.xlat.Blocks[ft]
 				n := x.S
 				if n > fx.NewLen {
@@ -308,7 +362,7 @@ func (h benchHandler) CTI(blk *program.Block, taken bool) {
 	}
 }
 
-func (h benchHandler) resolveBTB(nextAddr uint32) {
+func (h *benchSink) resolveBTB(nextAddr uint32) {
 	b := h.b
 	b.btbPending = false
 	target := uint32(0)
@@ -325,9 +379,9 @@ func (h benchHandler) resolveBTB(nextAddr uint32) {
 	}
 }
 
-// LoadUse applies the load-delay scheme to one consumed load and records
+// loadUse applies the load-delay scheme to one consumed load and records
 // the epsilon distributions.
-func (h benchHandler) LoadUse(eps, epsBlock int) {
+func (h *benchSink) loadUse(eps, epsBlock int) {
 	b := h.b
 	b.res.LoadUses++
 	b.res.Eps.Add(eps)

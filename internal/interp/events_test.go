@@ -1,0 +1,117 @@
+package interp_test
+
+import (
+	"testing"
+
+	"pipecache/internal/gen"
+	"pipecache/internal/interp"
+	"pipecache/internal/program"
+)
+
+// encodingHandler re-encodes the Handler stream in Event form so the two
+// execution paths can be compared record by record.
+type encodingHandler struct {
+	evs []interp.Event
+}
+
+func (h *encodingHandler) Block(b *program.Block) {
+	h.evs = append(h.evs, interp.Event{Kind: interp.EvBlock, A: uint32(b.ID), B: uint32(len(b.Insts))})
+}
+
+func (h *encodingHandler) Mem(b *program.Block, idx int, addr uint32, isStore bool) {
+	kind := interp.EvMemLoad
+	if isStore {
+		kind = interp.EvMemStore
+	}
+	h.evs = append(h.evs, interp.Event{Kind: kind, A: addr})
+}
+
+func (h *encodingHandler) CTI(b *program.Block, taken bool) {
+	kind := interp.EvCTINotTaken
+	if taken {
+		kind = interp.EvCTITaken
+	}
+	h.evs = append(h.evs, interp.Event{Kind: kind, A: uint32(b.ID)})
+}
+
+func (h *encodingHandler) LoadUse(eps, epsBlock int) {
+	h.evs = append(h.evs, interp.Event{Kind: interp.EvLoadUse, A: uint32(eps), B: uint32(epsBlock)})
+}
+
+type appendSink struct {
+	evs []interp.Event
+}
+
+func (s *appendSink) Events(evs []interp.Event) {
+	s.evs = append(s.evs, evs...)
+}
+
+// TestRunEventsMatchesHandler pins the duplicated event-stream execution
+// path to the Handler path: over real generated benchmarks, both must
+// produce the identical event sequence (same kinds, payloads, order, and
+// therefore identical RNG evolution) and execute the same instruction
+// count, including across multiple quantum-sized Run calls.
+func TestRunEventsMatchesHandler(t *testing.T) {
+	for _, name := range []string{"gcc", "espresso", "linpack"} {
+		spec, ok := gen.LookupSpec(name)
+		if !ok {
+			t.Fatalf("spec %s missing", name)
+		}
+		p, err := gen.Build(spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := interp.New(p, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := interp.New(p, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &encodingHandler{}
+		sink := &appendSink{}
+		buf := make([]interp.Event, 0, 256) // small buffer to force mid-quantum flushes
+		for q := 0; q < 5; q++ {
+			ranRef := ref.Run(20_000, h)
+			ranEv := ev.RunEvents(20_000, buf, sink)
+			if ranRef != ranEv {
+				t.Fatalf("%s quantum %d: Run executed %d, RunEvents %d", name, q, ranRef, ranEv)
+			}
+		}
+		if ref.Executed() != ev.Executed() {
+			t.Fatalf("%s: executed %d vs %d", name, ref.Executed(), ev.Executed())
+		}
+		if len(h.evs) != len(sink.evs) {
+			t.Fatalf("%s: %d handler events vs %d stream events", name, len(h.evs), len(sink.evs))
+		}
+		for i := range h.evs {
+			if h.evs[i] != sink.evs[i] {
+				t.Fatalf("%s: event %d differs: handler %+v, stream %+v", name, i, h.evs[i], sink.evs[i])
+			}
+		}
+		if len(h.evs) == 0 {
+			t.Fatalf("%s: no events recorded", name)
+		}
+	}
+}
+
+// TestRunEventsNilBuffer checks the internal-allocation path.
+func TestRunEventsNilBuffer(t *testing.T) {
+	spec, _ := gen.LookupSpec("loops")
+	p, err := gen.Build(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := interp.New(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &appendSink{}
+	if ran := it.RunEvents(1000, nil, sink); ran < 1000 {
+		t.Fatalf("ran %d < 1000", ran)
+	}
+	if len(sink.evs) == 0 {
+		t.Fatal("no events")
+	}
+}

@@ -58,8 +58,16 @@ type Interp struct {
 	stack   []frame
 	cursors []uint32 // per-region array walk positions
 
-	lastDef   [isa.NumRegs]int64
-	pending   [isa.NumRegs]loadRec
+	// meta is the static per-block decode used by the event-stream path,
+	// built lazily by the first RunEvents call.
+	meta []blockMeta
+
+	lastDef [isa.NumRegs]int64
+	pending [isa.NumRegs]loadRec
+	// nPending counts active records in pending; most instructions execute
+	// with none in flight, and the count lets them skip the source-register
+	// resolution scan entirely.
+	nPending  int
 	heapDrift uint32
 }
 
@@ -131,26 +139,30 @@ func (it *Interp) execInst(b *program.Block, idx, blockLen int, h Handler) {
 	now := it.icount
 
 	// Resolve pending loads on first use of their destinations.
-	for _, u := range in.Uses() {
-		rec := &it.pending[u]
-		if !rec.active {
-			continue
+	if it.nPending != 0 {
+		srcs, ns := in.SrcRegs()
+		for _, u := range srcs[:ns] {
+			rec := &it.pending[u]
+			if !rec.active {
+				continue
+			}
+			rec.active = false
+			it.nPending--
+			d := int(now - rec.at - 1)
+			if d > EpsCap {
+				d = EpsCap
+			}
+			eps := capEps(rec.c + d)
+			dBlk := d
+			if dBlk > rec.maxD {
+				dBlk = rec.maxD
+			}
+			cBlk := rec.c
+			if cBlk > rec.maxC {
+				cBlk = rec.maxC
+			}
+			h.LoadUse(eps, capEps(cBlk+dBlk))
 		}
-		rec.active = false
-		d := int(now - rec.at - 1)
-		if d > EpsCap {
-			d = EpsCap
-		}
-		eps := capEps(rec.c + d)
-		dBlk := d
-		if dBlk > rec.maxD {
-			dBlk = rec.maxD
-		}
-		cBlk := rec.c
-		if cBlk > rec.maxC {
-			cBlk = rec.maxC
-		}
-		h.LoadUse(eps, capEps(cBlk+dBlk))
 	}
 
 	if in.Op.IsMem() {
@@ -162,6 +174,9 @@ func (it *Interp) execInst(b *program.Block, idx, blockLen int, h Handler) {
 			if c > EpsCap {
 				c = EpsCap
 			}
+			if !it.pending[in.Rd].active {
+				it.nPending++
+			}
 			it.pending[in.Rd] = loadRec{
 				active: true,
 				at:     now,
@@ -172,14 +187,14 @@ func (it *Interp) execInst(b *program.Block, idx, blockLen int, h Handler) {
 		}
 	}
 
-	// Record definitions; a redefinition kills an unconsumed load (dead
-	// value, no interlock stall would occur).
-	for _, d := range in.Defs() {
+	// Record the definition; a redefinition kills an unconsumed load
+	// (dead value, no interlock stall would occur).
+	if d, ok := in.Def(); ok {
 		it.lastDef[d] = now
-		if in.Op.IsLoad() && d == in.Rd {
-			continue // the pending record set above must survive
+		if !(in.Op.IsLoad() && d == in.Rd) && it.pending[d].active {
+			it.pending[d].active = false
+			it.nPending--
 		}
-		it.pending[d].active = false
 	}
 }
 

@@ -33,47 +33,54 @@ func (in Inst) Class() Class { return in.Op.Class() }
 // IsCTI reports whether the instruction transfers control.
 func (in Inst) IsCTI() bool { return in.Op.IsCTI() }
 
-// Defs returns the registers written by the instruction. The zero register
-// is never reported as a def (writes to it are discarded).
-func (in Inst) Defs() []Reg {
-	var d []Reg
+// Def returns the general register written by the instruction, if any. No
+// instruction in the ISA writes more than one general register, so this is
+// the allocation-free form of Defs for hot paths. The zero register is
+// never reported as a def (writes to it are discarded).
+func (in Inst) Def() (Reg, bool) {
 	switch in.Op.Class() {
 	case ClassLoad, ClassALU:
 		if in.Op == MULT || in.Op == MULTU || in.Op == DIV || in.Op == DIVU {
 			// Writes HI/LO, not a general register; modelled as no def.
-			return nil
+			return 0, false
 		}
 		if in.Rd != Zero {
-			d = append(d, in.Rd)
+			return in.Rd, true
 		}
 	case ClassJump:
 		if in.Op == JAL {
-			d = append(d, RA)
+			return RA, true
 		}
 	case ClassJumpReg:
 		if in.Op == JALR && in.Rd != Zero {
-			d = append(d, in.Rd)
+			return in.Rd, true
 		}
 	case ClassSyscall:
 		// Syscalls clobber the result registers by convention.
-		d = append(d, V0)
+		return V0, true
 	}
-	return d
+	return 0, false
 }
 
-// Uses returns the registers read by the instruction.
-func (in Inst) Uses() []Reg {
-	var u []Reg
+// Defs returns the registers written by the instruction. The zero register
+// is never reported as a def (writes to it are discarded).
+func (in Inst) Defs() []Reg {
+	if d, ok := in.Def(); ok {
+		return []Reg{d}
+	}
+	return nil
+}
+
+// SrcRegs returns the distinct non-zero registers read by the instruction
+// without allocating: s[:n] are the sources, n is at most 2. This is the
+// hot-path form of Uses.
+func (in Inst) SrcRegs() (s [2]Reg, n int) {
 	add := func(r Reg) {
-		if r == Zero {
+		if r == Zero || (n > 0 && s[0] == r) {
 			return
 		}
-		for _, x := range u {
-			if x == r {
-				return
-			}
-		}
-		u = append(u, r)
+		s[n] = r
+		n++
 	}
 	switch in.Op {
 	case NOP:
@@ -114,7 +121,16 @@ func (in Inst) Uses() []Reg {
 			}
 		}
 	}
-	return u
+	return
+}
+
+// Uses returns the registers read by the instruction.
+func (in Inst) Uses() []Reg {
+	s, n := in.SrcRegs()
+	if n == 0 {
+		return nil
+	}
+	return append([]Reg(nil), s[:n]...)
 }
 
 // AddrReg returns the address base register for a load or store, and

@@ -16,6 +16,7 @@ package program
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pipecache/internal/isa"
 )
@@ -127,6 +128,12 @@ type Program struct {
 
 	// Data fixes where the program's data lives.
 	Data DataLayout
+
+	// validated caches one successful Validate. Sweeps build an
+	// interpreter per pass over the same immutable program, and each
+	// build revalidates; the cached result turns those repeats into a
+	// load. Clone does not copy it, so transformed copies revalidate.
+	validated atomic.Bool
 }
 
 // Terminator returns the block's CTI and true, or a zero Inst and false if
@@ -212,11 +219,21 @@ func (p *Program) Layout() error {
 	return nil
 }
 
+// Invalidate drops the cached Validate result. Call it after mutating an
+// already-validated program in place so the next Validate re-walks the
+// CFG; transformations on a Clone need not bother (the copy starts
+// unvalidated).
+func (p *Program) Invalidate() { p.validated.Store(false) }
+
 // Validate checks structural invariants: block IDs match positions, every
 // block belongs to exactly one procedure, CTIs appear only as terminators,
 // successor edges are present exactly where the terminator requires them,
-// and probabilities are in range.
+// and probabilities are in range. A successful result is cached until
+// Invalidate; repeated calls on an unchanged program are free.
 func (p *Program) Validate() error {
+	if p.validated.Load() {
+		return nil
+	}
 	if len(p.Procs) == 0 {
 		return fmt.Errorf("program %s: no procedures", p.Name)
 	}
@@ -272,6 +289,7 @@ func (p *Program) Validate() error {
 			return err
 		}
 	}
+	p.validated.Store(true)
 	return nil
 }
 

@@ -112,6 +112,7 @@ func TestValidateCatchesCTIInMiddle(t *testing.T) {
 	b := p.Blocks[1]
 	// Force a CTI into the middle.
 	b.Insts[0] = Inst{Inst: isa.Inst{Op: isa.J}}
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("mid-block CTI not caught")
 	}
@@ -121,6 +122,7 @@ func TestValidateCatchesMissingMemBehavior(t *testing.T) {
 	p := buildLoopProgram(t)
 	b := p.Blocks[1]
 	b.Insts[0].Mem = MemBehavior{}
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("load without memory behaviour not caught")
 	}
@@ -129,6 +131,7 @@ func TestValidateCatchesMissingMemBehavior(t *testing.T) {
 func TestValidateCatchesMemBehaviorOnALU(t *testing.T) {
 	p := buildLoopProgram(t)
 	p.Blocks[0].Insts[0].Mem = MemBehavior{Kind: MemGP}
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("memory behaviour on ALU op not caught")
 	}
@@ -137,6 +140,7 @@ func TestValidateCatchesMemBehaviorOnALU(t *testing.T) {
 func TestValidateCatchesBadProbability(t *testing.T) {
 	p := buildLoopProgram(t)
 	p.Blocks[1].TakenProb = 1.5
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("bad probability not caught")
 	}
@@ -145,6 +149,7 @@ func TestValidateCatchesBadProbability(t *testing.T) {
 func TestValidateCatchesEmptyBlock(t *testing.T) {
 	p := buildLoopProgram(t)
 	p.Blocks[2].Insts = nil
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("empty block not caught")
 	}
@@ -155,6 +160,7 @@ func TestValidateCatchesMissingFallthrough(t *testing.T) {
 	// Strip the terminator from block 2 leaving no successor.
 	p.Blocks[2].Insts = []Inst{{Inst: isa.Inst{Op: isa.ADDU, Rd: isa.T0}}}
 	p.Blocks[2].IsReturn = false
+	p.Invalidate()
 	if err := p.Validate(); err == nil {
 		t.Fatal("straight-line block without fallthrough not caught")
 	}

@@ -106,10 +106,18 @@ type (
 	CacheConfig = cache.Config
 	// Cache is a set-associative cache model with LRU replacement.
 	Cache = cache.Cache
+	// CacheBank is a fused bank of cache configurations: one probe
+	// evaluates every configuration and returns a miss bitmask. The CPI
+	// simulator runs its multi-configuration banks on this kernel.
+	CacheBank = cache.Bank
 )
 
 // NewCache builds a cache.
 func NewCache(cfg CacheConfig) (*Cache, error) { return cache.New(cfg) }
+
+// NewCacheBank fuses up to 64 cache configurations into one single-pass
+// bank.
+func NewCacheBank(cfgs []CacheConfig) (*CacheBank, error) { return cache.NewBank(cfgs) }
 
 // RefillPenalty returns the paper's refill penalty model: a 2-cycle startup
 // plus blockWords/wordsPerCycle transfer cycles.
