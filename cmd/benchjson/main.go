@@ -23,13 +23,22 @@ type benchRecord struct {
 	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
 }
 
+// speedupRecord relates two benchmark rows (baseline ns / against ns).
+type speedupRecord struct {
+	Name     string  `json:"name"`
+	Baseline string  `json:"baseline"`
+	Against  string  `json:"against"`
+	Speedup  float64 `json:"speedup"`
+}
+
 // report is the BENCH_sim.json schema.
 type report struct {
-	Schema     string        `json:"schema"`
-	Go         string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Insts      int64         `json:"insts"`
-	Benchmarks []benchRecord `json:"benchmarks"`
+	Schema     string          `json:"schema"`
+	Go         string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Insts      int64           `json:"insts"`
+	Benchmarks []benchRecord   `json:"benchmarks"`
+	Speedups   []speedupRecord `json:"speedups,omitempty"`
 }
 
 // simBench mirrors the root package's BenchmarkSimulatorThroughput /
@@ -71,6 +80,105 @@ func simBench(insts int64, instrumented bool) (func(b *testing.B) int64, error) 
 	}, nil
 }
 
+// replayBench mirrors the throughput benchmark but replays a pre-captured
+// event trace instead of interpreting: the speedup against
+// BenchmarkSimulatorThroughput is the per-pass win of the capture/replay
+// tier.
+func replayBench(insts int64) (func(b *testing.B) int64, error) {
+	spec, ok := pipecache.LookupBenchmark("espresso")
+	if !ok {
+		return nil, fmt.Errorf("espresso benchmark missing")
+	}
+	prog, err := pipecache.BuildProgram(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipecache.SimConfig{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     []pipecache.CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		DCaches:     []pipecache.CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+	}
+	ws := []pipecache.Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}}
+	capSim, err := pipecache.NewSim(cfg, ws)
+	if err != nil {
+		return nil, err
+	}
+	rec := pipecache.NewEventRecorder("bench", insts)
+	capSim.SetCapture(rec)
+	if _, err := capSim.Run(insts); err != nil {
+		return nil, err
+	}
+	tr := rec.Finish()
+	return func(b *testing.B) int64 {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			sim, err := pipecache.NewSim(cfg, ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Replay(insts, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Benches[0].Insts
+		}
+		return total
+	}, nil
+}
+
+// ablationSuite runs the extension studies end to end on a fresh lab per
+// iteration — replay enabled (budget > 0) or disabled (budget < 0) — so the
+// pair measures the tier's wall-time win on the real ablation workload.
+func ablationSuite(insts, budget int64) (func(b *testing.B) int64, error) {
+	var specs []pipecache.Spec
+	for _, name := range []string{"gcc", "yacc"} {
+		s, ok := pipecache.LookupBenchmark(name)
+		if !ok {
+			return nil, fmt.Errorf("benchmark %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := pipecache.BuildSuite(specs)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) int64 {
+		for i := 0; i < b.N; i++ {
+			p := pipecache.DefaultParams()
+			p.Insts = insts
+			p.TraceBudgetBytes = budget
+			lab, err := pipecache.NewLab(suite, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lab.SetObs(pipecache.NewRegistry())
+			if err := lab.Prewarm(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.AssocStudy(8); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.BlockSizeStudy(8); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.WritePolicyStudy(10); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.BTBSizeStudy([]int{64, 256, 1024}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.ProfileStudy(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lab.QuantumStudy(8, 10, []int64{2_000, 20_000, 100_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return 0
+	}, nil
+}
+
 // run measures one benchmark, deriving insts/s from the executed count
 // when the body reports one.
 func run(name string, body func(b *testing.B) int64) benchRecord {
@@ -95,9 +203,18 @@ func run(name string, body func(b *testing.B) int64) benchRecord {
 }
 
 func main() {
+	testing.Init()
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	insts := flag.Int64("insts", 200_000, "instructions per simulator benchmark iteration")
+	benchtime := flag.String("benchtime", "3s", "measurement time per benchmark (test.benchtime)")
 	flag.Parse()
+	// The ablation-suite benchmarks take hundreds of ms per iteration; the
+	// default 1s window measures so few iterations that the recorded
+	// speedups wobble by several percent run to run.
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	rep := report{
 		Schema:     "pipecache-bench/v1",
@@ -116,10 +233,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	replay, err := replayBench(*insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	live := run("BenchmarkSimulatorThroughput", throughput)
+	replayed := run("BenchmarkTraceReplay", replay)
 	rep.Benchmarks = append(rep.Benchmarks,
-		run("BenchmarkSimulatorThroughput", throughput),
+		live,
 		run("BenchmarkSimInstrumented", instrumented),
+		replayed,
 	)
+	rep.Speedups = append(rep.Speedups, speedupRecord{
+		Name:     "trace_replay_vs_live_pass",
+		Baseline: live.Name,
+		Against:  replayed.Name,
+		Speedup:  live.NsPerOp / replayed.NsPerOp,
+	})
+
+	ablLive, err := ablationSuite(*insts, -1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	ablReplay, err := ablationSuite(*insts, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	ablLiveRec := run("BenchmarkAblationSuite/live", ablLive)
+	ablReplayRec := run("BenchmarkAblationSuite/replay", ablReplay)
+	rep.Benchmarks = append(rep.Benchmarks, ablLiveRec, ablReplayRec)
+	rep.Speedups = append(rep.Speedups, speedupRecord{
+		Name:     "ablation_suite_replay_vs_live",
+		Baseline: ablLiveRec.Name,
+		Against:  ablReplayRec.Name,
+		Speedup:  ablLiveRec.NsPerOp / ablReplayRec.NsPerOp,
+	})
 
 	cacheCfg := pipecache.CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}
 	rep.Benchmarks = append(rep.Benchmarks, run("BenchmarkCacheAccess/direct", func(b *testing.B) int64 {

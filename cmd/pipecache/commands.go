@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"pipecache/internal/cache"
 	"pipecache/internal/core"
 	"pipecache/internal/cpisim"
 	"pipecache/internal/gen"
@@ -254,6 +255,9 @@ func runTracegen(args []string) error {
 	o := commonFlags(fs)
 	out := fs.String("o", "trace.pct", "output trace file")
 	slots := fs.Int("b", 0, "branch delay slots encoded in the fetch stream")
+	pct1 := fs.Bool("pct1", false, "write the legacy fixed-record PCT1 format instead of PCT2")
+	replay := fs.Bool("replay", false,
+		"after writing, replay the trace through the fused cache bank and print per-size miss ratios")
 	fs.Parse(args)
 
 	lab, err := buildLab(o)
@@ -265,7 +269,11 @@ func runTracegen(args []string) error {
 		return err
 	}
 	defer f.Close()
-	w, err := trace.NewWriter(f)
+	newWriter := trace.NewWriter
+	if *pct1 {
+		newWriter = trace.NewWriterV1
+	}
+	w, err := newWriter(f)
 	if err != nil {
 		return err
 	}
@@ -288,7 +296,59 @@ func runTracegen(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d references to %s\n", w.Count(), *out)
+	if *replay {
+		if err := replayTrace(*out, lab.P.SizesKW, lab.P.BlockWords); err != nil {
+			return err
+		}
+	}
 	return writeMetrics(lab, o)
+}
+
+// replayTrace replays a reference trace through one fused cache.Bank per
+// side — the whole size ladder in a single pass — and prints the per-size
+// miss ratios.
+func replayTrace(path string, sizesKW []int, blockWords int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var cfgs []cache.Config
+	for _, s := range sizesKW {
+		cfgs = append(cfgs, cache.Config{SizeKW: s, BlockWords: blockWords, Assoc: 1, WriteBack: true})
+	}
+	ibank, err := cache.NewBank(cfgs)
+	if err != nil {
+		return err
+	}
+	dbank, err := cache.NewBank(cfgs)
+	if err != nil {
+		return err
+	}
+	st, err := trace.ReplayBank(r, ibank, dbank)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d refs (PCT%d): %d ifetch, %d load, %d store\n",
+		st.Refs, r.Version(), st.IFetches, st.Loads, st.Stores)
+	for i, s := range sizesKW {
+		is, ds := ibank.Stats(i), dbank.Stats(i)
+		fmt.Printf("  %2d KW/side: I miss %.4f, D miss %.4f\n",
+			s, float64(is.Misses())/float64(max64(is.Accesses(), 1)),
+			float64(ds.Misses())/float64(max64(ds.Accesses(), 1)))
+	}
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func runTiming(args []string) error {

@@ -24,6 +24,7 @@
 //	-metrics file  write a JSON metrics snapshot of the run to file
 //	-progress      report live sweep progress (points done/total, ETA)
 //	-sweep-workers N  sweep/ablation pool size (default GOMAXPROCS)
+//	-trace-budget-mb N  event-trace store budget in MiB (0 = no replay tier)
 package main
 
 import (
@@ -102,11 +103,12 @@ run "pipecache <command> -h" for flags.
 
 // cliOpts bundles the flags shared by every lab-driven subcommand.
 type cliOpts struct {
-	insts        *int64
-	benchmarks   *string
-	metricsOut   *string
-	progress     *bool
-	sweepWorkers *int
+	insts         *int64
+	benchmarks    *string
+	metricsOut    *string
+	progress      *bool
+	sweepWorkers  *int
+	traceBudgetMB *int64
 }
 
 // commonFlags registers the shared flags on fs.
@@ -117,7 +119,18 @@ func commonFlags(fs *flag.FlagSet) *cliOpts {
 		metricsOut:   fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit"),
 		progress:     fs.Bool("progress", false, "report live sweep progress on stderr"),
 		sweepWorkers: fs.Int("sweep-workers", 0, "sweep/ablation worker-pool size (default GOMAXPROCS, 1 = serial)"),
+		traceBudgetMB: fs.Int64("trace-budget-mb", 256,
+			"event-trace store byte budget in MiB (0 disables the capture/replay tier)"),
 	}
+}
+
+// traceBudgetBytes maps the -trace-budget-mb flag onto Params semantics
+// (0 on the flag means "off", which Params spells as a negative budget).
+func (o *cliOpts) traceBudgetBytes() int64 {
+	if *o.traceBudgetMB <= 0 {
+		return -1
+	}
+	return *o.traceBudgetMB << 20
 }
 
 // buildLab assembles the lab from the parsed flags, attaching a fresh
@@ -136,6 +149,7 @@ func buildLab(o *cliOpts) (*core.Lab, error) {
 	p := core.DefaultParams()
 	p.Insts = *o.insts
 	p.SweepWorkers = *o.sweepWorkers
+	p.TraceBudgetBytes = o.traceBudgetBytes()
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,7 @@ func runServe(args []string) error {
 	p := core.DefaultParams()
 	p.Insts = *o.insts
 	p.SweepWorkers = *o.sweepWorkers
+	p.TraceBudgetBytes = o.traceBudgetBytes()
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return err

@@ -53,27 +53,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Replay against a small and a large cache pair.
-	for _, kw := range []int{1, 16} {
-		ic, _ := cache.New(cache.Config{SizeKW: kw, BlockWords: 4, Assoc: 1, WriteBack: true})
-		dc, _ := cache.New(cache.Config{SizeKW: kw, BlockWords: 4, Assoc: 1, WriteBack: true})
-		f, err := os.Open(mixed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := trace.NewReader(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := trace.Replay(r, ic, dc)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nreplay vs %2dKW caches: %d refs (%d fetch / %d load / %d store)\n",
-			kw, st.Refs, st.IFetches, st.Loads, st.Stores)
-		fmt.Printf("  L1-I miss ratio %.2f%%   L1-D miss ratio %.2f%%\n",
-			100*ic.Stats().MissRatio(), 100*dc.Stats().MissRatio())
+	// Replay against a small and a large cache pair in ONE pass: the fused
+	// bank kernel probes every configuration per reference (ReplayBank),
+	// instead of re-reading the trace per configuration.
+	sizes := []int{1, 16}
+	var cfgs []cache.Config
+	for _, kw := range sizes {
+		cfgs = append(cfgs, cache.Config{SizeKW: kw, BlockWords: 4, Assoc: 1, WriteBack: true})
+	}
+	ibank, err := cache.NewBank(cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbank, err := cache.NewBank(cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(mixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := trace.ReplayBank(r, ibank, dbank)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplayed %d refs once (PCT%d: %d fetch / %d load / %d store)\n",
+		st.Refs, r.Version(), st.IFetches, st.Loads, st.Stores)
+	for i, kw := range sizes {
+		fmt.Printf("  %2dKW caches: L1-I miss ratio %.2f%%   L1-D miss ratio %.2f%%\n",
+			kw, 100*ibank.Stats(i).MissRatio(), 100*dbank.Stats(i).MissRatio())
 	}
 }
 

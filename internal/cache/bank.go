@@ -37,14 +37,25 @@ type Bank struct {
 	cfgs []Config
 	meta []bankMeta
 
-	// Shared line state, indexed [meta.base + set*assoc + way].
-	tags  []uint32
-	valid []bool
+	// Shared line state, indexed [meta.base + set*assoc + way]. A line's
+	// tag carries lineValid (bit 32) when the line holds data: one
+	// 64-bit compare replaces the separate valid-byte and tag loads, and
+	// the zero value (no lineValid bit) can never match a real probe tag.
+	// Invalid lines keep lru == 0, below every real tick, so LRU victim
+	// selection prefers them exactly as an explicit empty-way scan would.
+	// dirty is only ever set on resident lines.
+	tags  []uint64
 	dirty []bool
 	lru   []uint64
 	tick  uint64
 
 	stats []Stats
+	// reads and writes are bank-level access counters: every probe touches
+	// every configuration, so the Reads/Writes components of Stats are
+	// identical across configurations and are accounted once per probe
+	// here instead of once per configuration in the kernel. Stats folds
+	// them back in.
+	reads, writes uint64
 
 	probeWords uint32 // smallest block size across configurations
 }
@@ -85,12 +96,15 @@ func NewBank(cfgs []Config) (*Bank, error) {
 			b.probeWords = uint32(cfg.BlockWords)
 		}
 	}
-	b.tags = make([]uint32, total)
-	b.valid = make([]bool, total)
+	b.tags = make([]uint64, total)
 	b.dirty = make([]bool, total)
 	b.lru = make([]uint64, total)
 	return b, nil
 }
+
+// lineValid marks a resident line's tag word; probe tags are 32-bit, so a
+// zeroed (invalid) line can never compare equal to a probe.
+const lineValid = uint64(1) << 32
 
 // Len returns the number of configurations in the bank.
 func (b *Bank) Len() int { return len(b.cfgs) }
@@ -99,13 +113,19 @@ func (b *Bank) Len() int { return len(b.cfgs) }
 func (b *Bank) Config(i int) Config { return b.cfgs[i] }
 
 // Stats returns a copy of the i'th configuration's statistics.
-func (b *Bank) Stats(i int) Stats { return b.stats[i] }
+func (b *Bank) Stats(i int) Stats {
+	st := b.stats[i]
+	st.Reads += b.reads
+	st.Writes += b.writes
+	return st
+}
 
 // ResetStats clears all statistics without touching line state.
 func (b *Bank) ResetStats() {
 	for i := range b.stats {
 		b.stats[i] = Stats{}
 	}
+	b.reads, b.writes = 0, 0
 }
 
 // ProbeWords returns the smallest block size in the bank, in words: the
@@ -136,6 +156,11 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 	// line per configuration, so relative last-use order — all LRU needs —
 	// is preserved exactly versus the per-access tick of Cache.
 	b.tick++
+	if write {
+		b.writes += n
+	} else {
+		b.reads += n
+	}
 	var miss uint64
 	prevBits := uint32(0xffffffff)
 	var block uint32
@@ -148,29 +173,24 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 			block = addr >> m.blockBits
 			prevBits = m.blockBits
 		}
-		st := &b.stats[ci]
-		if write {
-			st.Writes += n
-		} else {
-			st.Reads += n
-		}
 		set := block & m.setMask
-		tag := block >> m.tagShift
+		vtag := uint64(block>>m.tagShift) | lineValid
 
 		if m.assoc == 1 {
 			// Direct-mapped fast path: one candidate line, no LRU.
 			i := int(m.base) + int(set)
-			if b.valid[i] && b.tags[i] == tag {
+			if b.tags[i] == vtag {
 				if write {
 					if m.writeBack {
 						b.dirty[i] = true
 					} else {
-						st.Throughs++
+						b.stats[ci].Throughs++
 					}
 				}
 				continue
 			}
 			miss |= 1 << uint(ci)
+			st := &b.stats[ci]
 			if write {
 				st.WriteMisses++
 				if !m.writeBack {
@@ -180,12 +200,11 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 			} else {
 				st.ReadMisses++
 			}
-			if b.valid[i] && b.dirty[i] {
+			if b.dirty[i] {
 				st.Writebacks++
 			}
-			b.valid[i] = true
 			b.dirty[i] = write
-			b.tags[i] = tag
+			b.tags[i] = vtag
 			continue
 		}
 
@@ -193,13 +212,13 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 		hit := false
 		for w := 0; w < int(m.assoc); w++ {
 			i := base + w
-			if b.valid[i] && b.tags[i] == tag {
+			if b.tags[i] == vtag {
 				b.lru[i] = b.tick
 				if write {
 					if m.writeBack {
 						b.dirty[i] = true
 					} else {
-						st.Throughs++
+						b.stats[ci].Throughs++
 					}
 				}
 				hit = true
@@ -210,6 +229,7 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 			continue
 		}
 		miss |= 1 << uint(ci)
+		st := &b.stats[ci]
 		if write {
 			st.WriteMisses++
 			if !m.writeBack {
@@ -219,26 +239,24 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 		} else {
 			st.ReadMisses++
 		}
+		// Invalid ways hold lru == 0, strictly below every live tick, so
+		// the strict-minimum scan lands on the first empty way when one
+		// exists — the same choice as an explicit empty-way search.
 		victim := base
-		for w := 0; w < int(m.assoc); w++ {
+		for w := 1; w < int(m.assoc); w++ {
 			i := base + w
-			if !b.valid[i] {
-				victim = i
-				break
-			}
 			if b.lru[i] < b.lru[victim] {
 				victim = i
 			}
 		}
-		if b.valid[victim] && b.dirty[victim] {
+		if b.dirty[victim] {
 			st.Writebacks++
 		}
 		// A write reaching the fill implies write-back (write-through
 		// write misses do not allocate), so the filled line's dirty bit
 		// is just the write flag.
-		b.valid[victim] = true
 		b.dirty[victim] = write
-		b.tags[victim] = tag
+		b.tags[victim] = vtag
 		b.lru[victim] = b.tick
 	}
 	return miss
@@ -250,11 +268,14 @@ func (b *Bank) Flush() {
 	for ci := range b.meta {
 		m := &b.meta[ci]
 		for i := int(m.base); i < int(m.base+m.lines); i++ {
-			if b.valid[i] && b.dirty[i] {
+			if b.dirty[i] {
 				b.stats[ci].Writebacks++
 			}
-			b.valid[i] = false
+			b.tags[i] = 0
 			b.dirty[i] = false
+			// Flushed lines drop to lru 0 so victim selection prefers
+			// them again, matching a freshly built bank.
+			b.lru[i] = 0
 		}
 	}
 }
@@ -263,6 +284,6 @@ func (b *Bank) Flush() {
 // configuration prefix + its Label().
 func (b *Bank) Publish(reg *obs.Registry, prefix string) {
 	for i, cfg := range b.cfgs {
-		PublishStats(reg, prefix+cfg.Label(), b.stats[i])
+		PublishStats(reg, prefix+cfg.Label(), b.Stats(i))
 	}
 }

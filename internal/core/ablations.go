@@ -449,11 +449,11 @@ func (l *Lab) ProfileStudy() (*ProfileStudyResult, error) {
 		for i := range ws {
 			ws[i].Profile = profiles[i]
 		}
-		sim, err := cpisim.New(cpisim.Config{BranchSlots: b, Quantum: l.P.Quantum}, ws)
-		if err != nil {
-			return err
-		}
-		prof, err := sim.RunContext(ctx, l.P.Insts)
+		// Profiles change the delay-slot translation, not the event
+		// stream, so the profiled pass replays the same captured trace
+		// as the heuristic passes.
+		prof, err := l.runWorkloads(ctx, cpisim.Config{BranchSlots: b, Quantum: l.P.Quantum}, ws,
+			"lab.adhoc_passes_run")
 		if err != nil {
 			return err
 		}
@@ -574,6 +574,10 @@ func (l *Lab) StabilityStudy(offsets []uint64) (*StabilityStudyResult, error) {
 		}
 		if off == l.P.SeedOffset {
 			fresh = l // reuse the memoized passes for the base seed
+		} else {
+			// Each offset has its own trace key, but sharing the parent's
+			// bounded store keeps the whole study under one byte budget.
+			fresh.SetTraceStore(l.traces)
 		}
 		opt, err := fresh.BestDesign(l.P.L2TimeNs, cpisim.LoadStatic, true)
 		if err != nil {

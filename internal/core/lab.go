@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"pipecache/internal/cpisim"
 	"pipecache/internal/obs"
 	"pipecache/internal/timing"
+	"pipecache/internal/trace"
 )
 
 // Params are the shared experiment parameters.
@@ -48,7 +50,20 @@ type Params struct {
 	// simulation, so they parallelize cleanly). Zero means GOMAXPROCS; one
 	// forces the serial path.
 	SweepWorkers int
+	// TraceBudgetBytes bounds the in-memory event-trace store, the second
+	// memo tier below the result memo: the first pass over a workload set
+	// captures the interpreter event stream, and every later pass with a
+	// different architecture/cache configuration replays it without
+	// re-interpreting. Zero means DefaultTraceBudgetBytes; negative
+	// disables the tier entirely.
+	TraceBudgetBytes int64
 }
+
+// DefaultTraceBudgetBytes is the event-trace store budget used when
+// Params.TraceBudgetBytes is zero. A 1M-instruction pass over the default
+// five-benchmark suite captures ~60 MB, so the default keeps a few
+// distinct workload sets resident.
+const DefaultTraceBudgetBytes = 256 << 20
 
 // DefaultParams returns the study's defaults.
 func DefaultParams() Params {
@@ -113,6 +128,11 @@ type Lab struct {
 	mu     sync.Mutex
 	passes map[passKey]*passEntry
 
+	// traces is the event-trace tier below the result memo (nil when
+	// disabled): passes that differ only in architecture or cache
+	// configuration share one captured interpreter stream.
+	traces *trace.EventStore
+
 	obs      *obs.Registry
 	progress *obs.Progress
 }
@@ -143,14 +163,35 @@ func NewLab(s *Suite, p Params) (*Lab, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Lab{Suite: s, P: p, passes: map[passKey]*passEntry{}}, nil
+	l := &Lab{Suite: s, P: p, passes: map[passKey]*passEntry{}}
+	budget := p.TraceBudgetBytes
+	if budget == 0 {
+		budget = DefaultTraceBudgetBytes
+	}
+	if budget > 0 {
+		l.traces = trace.NewStore(budget)
+	}
+	return l, nil
 }
+
+// SetTraceStore replaces the lab's event-trace store (nil disables the
+// tier). The stability study uses it to share one bounded store across
+// the fresh labs it builds per seed offset.
+func (l *Lab) SetTraceStore(s *trace.EventStore) { l.traces = s }
+
+// TraceStore returns the lab's event-trace store (nil when disabled).
+func (l *Lab) TraceStore() *trace.EventStore { return l.traces }
 
 // SetObs attaches a run-scoped metrics registry: every simulation pass
 // publishes its cache, BTB, and interpreter counters into it, and the lab
 // adds pass-level accounting (wall time per pass, memo hit ratio, TPI
 // points evaluated). Attach before running experiments.
-func (l *Lab) SetObs(reg *obs.Registry) { l.obs = reg }
+func (l *Lab) SetObs(reg *obs.Registry) {
+	l.obs = reg
+	if l.traces != nil {
+		l.traces.SetObs(reg)
+	}
+}
 
 // Obs returns the attached registry (nil when none).
 func (l *Lab) Obs() *obs.Registry { return l.obs }
@@ -282,16 +323,20 @@ func (l *Lab) setMemoRatio(requests *obs.Counter) {
 	}
 }
 
-// runInstrumented executes one simulation pass with the lab's registry
-// attached, recording its wall time and bumping the named pass counter.
+// runInstrumented executes one simulation pass over the lab's workloads
+// with the lab's registry attached, recording its wall time and bumping
+// the named pass counter.
 func (l *Lab) runInstrumented(ctx context.Context, cfg cpisim.Config, counter string) (*cpisim.Result, error) {
-	sim, err := cpisim.New(cfg, l.workloads())
-	if err != nil {
-		return nil, err
-	}
-	sim.SetObs(l.obs)
+	return l.runWorkloads(ctx, cfg, l.workloads(), counter)
+}
+
+// runWorkloads is runInstrumented over an explicit workload set (the
+// profile ablation attaches training data to the workloads before the
+// pass; the event stream is profile-independent, so those passes replay
+// from the same trace as everything else).
+func (l *Lab) runWorkloads(ctx context.Context, cfg cpisim.Config, ws []cpisim.Workload, counter string) (*cpisim.Result, error) {
 	start := time.Now()
-	res, err := sim.RunContext(ctx, l.P.Insts)
+	res, err := l.runOrReplay(ctx, cfg, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +346,81 @@ func (l *Lab) runInstrumented(ctx context.Context, cfg cpisim.Config, counter st
 			Observe(time.Since(start).Seconds())
 	}
 	return res, nil
+}
+
+// traceKey identifies one workload set's event streams. Deliberately
+// absent: branch scheme and slots, load scheme, cache geometry, profiles,
+// and the quantum — the interpreter never sees any of them (the stream
+// invariance contract in internal/interp), so one capture serves every
+// configuration the studies sweep.
+func (l *Lab) traceKey(ws []cpisim.Workload) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "insts=%d", l.P.Insts)
+	for _, w := range ws {
+		fmt.Fprintf(&sb, "|%s:%#x", w.Prog.Name, w.Seed)
+	}
+	return sb.String()
+}
+
+// runOrReplay is the event-trace tier under every simulation pass. The
+// first pass for a workload set interprets live with a recorder teed in
+// and commits the capture; concurrent same-key passes wait for that single
+// flight; every later pass replays the stored stream straight into its own
+// cache banks. Replay failure (a stale or mismatched trace) falls back to
+// live interpretation on a fresh simulator — never on the partially-driven
+// one — so results are correct even when the tier misbehaves.
+func (l *Lab) runOrReplay(ctx context.Context, cfg cpisim.Config, ws []cpisim.Workload) (*cpisim.Result, error) {
+	sim, err := cpisim.New(cfg, ws)
+	if err != nil {
+		return nil, err
+	}
+	sim.SetObs(l.obs)
+	if l.traces == nil {
+		return sim.RunContext(ctx, l.P.Insts)
+	}
+	key := l.traceKey(ws)
+	tr, tok, err := l.traces.Acquire(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if tok != nil {
+		// Designated capturer: this pass was going to interpret live
+		// anyway; tee the streams into a recorder on the way.
+		rec := trace.NewRecorder(key, l.P.Insts)
+		sim.SetCapture(rec)
+		res, err := sim.RunContext(ctx, l.P.Insts)
+		if err != nil {
+			tok.Abort()
+			return nil, err
+		}
+		captured := rec.Finish()
+		tok.Commit(captured)
+		captured.Release()
+		return res, nil
+	}
+	if tr == nil {
+		// Oversize tombstone: interpret live without capturing.
+		return sim.RunContext(ctx, l.P.Insts)
+	}
+	res, rerr := sim.ReplayContext(ctx, l.P.Insts, tr)
+	tr.Release()
+	if rerr == nil {
+		l.obs.Counter("lab.pass_replays").Inc()
+		return res, nil
+	}
+	if isCtxErr(rerr) {
+		return nil, rerr
+	}
+	// The trace failed validation or ran dry — possible only if a caller
+	// mutated Params or the suite between passes. Fall back to a live run
+	// on a fresh simulator; the partially-driven one is poisoned.
+	l.obs.Counter("lab.replay_fallbacks").Inc()
+	fresh, err := cpisim.New(cfg, ws)
+	if err != nil {
+		return nil, err
+	}
+	fresh.SetObs(l.obs)
+	return fresh.RunContext(ctx, l.P.Insts)
 }
 
 // Prewarm runs the standard simulation passes (static delayed branches at

@@ -1,0 +1,101 @@
+package cpisim
+
+import (
+	"context"
+	"fmt"
+
+	"pipecache/internal/trace"
+)
+
+// The capture/replay tier. A live pass interprets every workload to
+// produce its event stream; that stream is a pure function of (program,
+// seed, budget) — see the stream invariance contract in internal/interp —
+// while every architectural knob (branch scheme and slots, load scheme,
+// cache banks, profiles, even the multiprogramming quantum) is applied by
+// benchSink on the way down. SetCapture tees the streams of one live pass
+// into a trace.EventTrace; ReplayContext then drives benchSink straight
+// from the stored columns for any later configuration, with no interpreter
+// decode, and produces bit-identical Results and published obs counters.
+
+// SetCapture tees every workload's event stream into rec while the next
+// live run executes: the events still reach the simulator unchanged, and
+// are appended to the recorder's per-benchmark columnar streams on the
+// way. Call once, before Run/RunContext, on a fresh simulator.
+func (s *Sim) SetCapture(rec *trace.Recorder) {
+	for _, b := range s.benches {
+		b.drive = rec.Bench(b.prog.Name, b.seed, b.sink)
+	}
+}
+
+// Replay is ReplayContext without cancellation.
+func (s *Sim) Replay(instsPerBench int64, tr *trace.EventTrace) (*Result, error) {
+	return s.ReplayContext(context.Background(), instsPerBench, tr)
+}
+
+// ReplayContext runs the pass from a captured event trace instead of the
+// interpreters: per-benchmark cursors re-interleave the stored streams
+// round-robin at this simulator's quantum, delivering whole blocks until
+// each turn's target is met — exactly the rule interp.RunEvents applies —
+// so the sequence of state transitions, the Result, and the published
+// counters are bit-identical to a live run of the same configuration.
+//
+// The trace must have been captured over the same workloads (names and
+// seeds, in order) at the same per-benchmark budget; the quantum and every
+// architectural knob may differ from the capturing pass. A validation or
+// exhaustion error leaves the simulator in an undefined intermediate
+// state; build a fresh Sim to fall back to live interpretation.
+func (s *Sim) ReplayContext(ctx context.Context, instsPerBench int64, tr *trace.EventTrace) (*Result, error) {
+	if instsPerBench <= 0 {
+		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cpisim: nil trace")
+	}
+	names := make([]string, len(s.benches))
+	seeds := make([]uint64, len(s.benches))
+	for i, b := range s.benches {
+		names[i] = b.prog.Name
+		seeds[i] = b.seed
+	}
+	if err := tr.Validate(instsPerBench, names, seeds); err != nil {
+		return nil, err
+	}
+	cursors := make([]trace.Cursor, len(s.benches))
+	for i := range cursors {
+		cursors[i] = tr.Cursor(i)
+	}
+	remaining := make([]int64, len(s.benches))
+	for i := range remaining {
+		remaining[i] = instsPerBench
+	}
+	active := len(s.benches)
+	for active > 0 {
+		for i, b := range s.benches {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if remaining[i] <= 0 {
+				continue
+			}
+			q := s.cfg.Quantum
+			if q > remaining[i] {
+				q = remaining[i]
+			}
+			ran := cursors[i].Turn(q, s.evbuf, b.sink)
+			if ran == 0 {
+				return nil, fmt.Errorf("cpisim: trace %q exhausted for %s with %d instructions remaining",
+					tr.Key(), b.prog.Name, remaining[i])
+			}
+			remaining[i] -= ran
+			if remaining[i] <= 0 {
+				active--
+			}
+		}
+	}
+	res := &Result{Config: s.cfg}
+	for _, b := range s.benches {
+		res.Benches = append(res.Benches, b.res)
+	}
+	s.publish(res)
+	return res, nil
+}

@@ -51,9 +51,14 @@ type benchState struct {
 	res  BenchResult
 	it   *interp.Interp
 	prog *program.Program
+	seed uint64
 	xlat *sched.Translation
 	sink *benchSink
-	skip int // delay-slot instructions already executed for the next block
+	// drive is the sink the interpreter feeds during a live run: normally
+	// sink itself, or a trace.Recorder tee (SetCapture) that appends every
+	// event to an EventTrace on its way through.
+	drive interp.EventSink
+	skip  int // delay-slot instructions already executed for the next block
 
 	// Deferred BTB resolution: the target address of a taken CTI is the
 	// next block's address, which arrives with the next Block event.
@@ -99,8 +104,6 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 			return nil, err
 		}
 	}
-	s.evbuf = make([]interp.Event, 4096)
-
 	slots := cfg.BranchSlots
 	if cfg.BranchScheme == BranchBTB {
 		slots = 0
@@ -120,8 +123,9 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs := &benchState{it: it, prog: w.Prog, xlat: xlat}
+		bs := &benchState{it: it, prog: w.Prog, seed: w.Seed, xlat: xlat}
 		bs.sink = &benchSink{s: s, b: bs}
+		bs.drive = bs.sink
 		bs.res.Name = w.Prog.Name
 		bs.res.Weight = w.Weight
 		bs.res.IMisses = make([]int64, len(cfg.ICaches))
@@ -153,6 +157,11 @@ func (s *Sim) RunContext(ctx context.Context, instsPerBench int64) (*Result, err
 	if instsPerBench <= 0 {
 		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
 	}
+	if s.evbuf == nil {
+		// Allocated on first live run only: replays stream stored columns
+		// through the zero-copy path and never touch the buffer.
+		s.evbuf = make([]interp.Event, 4096)
+	}
 	remaining := make([]int64, len(s.benches))
 	for i := range remaining {
 		remaining[i] = instsPerBench
@@ -170,7 +179,7 @@ func (s *Sim) RunContext(ctx context.Context, instsPerBench int64) (*Result, err
 			if q > remaining[i] {
 				q = remaining[i]
 			}
-			ran := b.it.RunEvents(q, s.evbuf, b.sink)
+			ran := b.it.RunEvents(q, s.evbuf, b.drive)
 			remaining[i] -= ran
 			if remaining[i] <= 0 {
 				active--
@@ -210,6 +219,34 @@ func (h *benchSink) Events(evs []interp.Event) {
 			h.cti(int(ev.A), true)
 		case interp.EvCTINotTaken:
 			h.cti(int(ev.A), false)
+		}
+	}
+}
+
+// EventColumns consumes one batch in columnar form — the zero-copy replay
+// fast path (interp.ColumnSink): trace chunks are stored as parallel
+// kind/A/B arrays, and this dispatch reads them in place instead of
+// materializing Event records. The switch bodies are identical to Events,
+// so live and replayed streams drive exactly the same state transitions.
+func (h *benchSink) EventColumns(kinds []uint8, as, bs []uint32) {
+	// Reslicing to the kind column's length lets the compiler drop the
+	// per-event bounds checks on the value columns.
+	as = as[:len(kinds)]
+	bs = bs[:len(kinds)]
+	for i := range kinds {
+		switch interp.EventKind(kinds[i]) {
+		case interp.EvBlock:
+			h.block(int(as[i]), int64(bs[i]))
+		case interp.EvLoadUse:
+			h.loadUse(int(as[i]), int(bs[i]))
+		case interp.EvMemLoad:
+			h.mem(as[i], false)
+		case interp.EvMemStore:
+			h.mem(as[i], true)
+		case interp.EvCTITaken:
+			h.cti(int(as[i]), true)
+		case interp.EvCTINotTaken:
+			h.cti(int(as[i]), false)
 		}
 	}
 }

@@ -13,6 +13,16 @@ import (
 // is paid per batch. The interpreter logic is intentionally duplicated
 // from step/execInst/advance — TestRunEventsMatchesHandler pins the two
 // paths to the identical stream (including RNG evolution).
+//
+// Stream invariance contract: the event stream of one interpreter is a
+// pure function of (program, seed, instruction budget). Delay-slot
+// translations, branch-handling schemes, load schemes, cache geometry, and
+// the multiprogramming quantum are all applied downstream by the consumer
+// — the interpreter never sees them — so a stream captured once can be
+// replayed under any of those without re-execution. The trace package's
+// capture/replay tier and its differential tests rely on this contract;
+// any change that makes the stream depend on consumer configuration must
+// also invalidate trace.EventTrace keys.
 
 // EventKind discriminates Event records.
 type EventKind uint8
@@ -44,6 +54,22 @@ type Event struct {
 // reused between calls; implementations must not retain it.
 type EventSink interface {
 	Events([]Event)
+}
+
+// EventSinkFunc adapts a function to the EventSink interface.
+type EventSinkFunc func([]Event)
+
+// Events implements EventSink.
+func (f EventSinkFunc) Events(evs []Event) { f(evs) }
+
+// ColumnSink is an optional fast path for sinks that can consume a batch
+// in columnar form (parallel kind/A/B arrays) without materializing Event
+// records. Replay from a columnar trace probes for it and, when present,
+// delivers zero-copy sub-slices of the stored columns. The same batching
+// and retention rules as EventSink apply: slices are only valid for the
+// duration of the call.
+type ColumnSink interface {
+	EventColumns(kind []uint8, a, b []uint32)
 }
 
 // instMeta is the per-instruction static decode: the class-derived flags,

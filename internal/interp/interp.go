@@ -91,7 +91,7 @@ func New(p *program.Program, seed uint64) (*Interp, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
-	if err := p.Data.Validate(p); err != nil {
+	if err := p.ValidateData(); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
 	it := &Interp{

@@ -16,6 +16,7 @@ package program
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pipecache/internal/isa"
@@ -134,6 +135,16 @@ type Program struct {
 	// build revalidates; the cached result turns those repeats into a
 	// load. Clone does not copy it, so transformed copies revalidate.
 	validated atomic.Bool
+
+	// dataValidated caches one successful ValidateData under the same
+	// contract.
+	dataValidated atomic.Bool
+
+	// memo caches derived artifacts (delay-slot translations and the
+	// like) that are pure functions of the immutable program, keyed by a
+	// comparable key chosen by the owning package. Values are opaque here
+	// to avoid import cycles. Invalidate clears it.
+	memo sync.Map
 }
 
 // Terminator returns the block's CTI and true, or a zero Inst and false if
@@ -219,11 +230,51 @@ func (p *Program) Layout() error {
 	return nil
 }
 
-// Invalidate drops the cached Validate result. Call it after mutating an
-// already-validated program in place so the next Validate re-walks the
-// CFG; transformations on a Clone need not bother (the copy starts
-// unvalidated).
-func (p *Program) Invalidate() { p.validated.Store(false) }
+// Invalidate drops the cached Validate/ValidateData results and every
+// memoized derived artifact. Call it after mutating an already-validated
+// program in place so the next Validate re-walks the CFG; transformations
+// on a Clone need not bother (the copy starts unvalidated).
+func (p *Program) Invalidate() {
+	p.validated.Store(false)
+	p.dataValidated.Store(false)
+	p.memo.Range(func(k, _ any) bool {
+		p.memo.Delete(k)
+		return true
+	})
+}
+
+// ValidateData checks the program's data layout, caching a successful
+// result exactly as Validate does: programs are immutable once built, so
+// sweeps that construct one interpreter per pass pay the instruction walk
+// only once.
+func (p *Program) ValidateData() error {
+	if p.dataValidated.Load() {
+		return nil
+	}
+	if err := p.Data.Validate(p); err != nil {
+		return err
+	}
+	p.dataValidated.Store(true)
+	return nil
+}
+
+// Memo returns the derived artifact cached under key, invoking build to
+// produce it on the first call. Artifacts must be pure functions of the
+// immutable program and read-only after construction, since every caller
+// shares one value. Concurrent first calls may run build more than once;
+// the first store wins, which is harmless for deterministic builders.
+// Errors are not cached.
+func (p *Program) Memo(key any, build func() (any, error)) (any, error) {
+	if v, ok := p.memo.Load(key); ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := p.memo.LoadOrStore(key, v)
+	return actual, nil
+}
 
 // Validate checks structural invariants: block IDs match positions, every
 // block belongs to exactly one procedure, CTIs appear only as terminators,

@@ -47,11 +47,30 @@ func (c *profileCollector) CTI(b *program.Block, taken bool) {
 	}
 }
 
+// profKey memoizes collected profiles per program (see CollectProfile).
+type profKey struct {
+	seed  uint64
+	insts int64
+}
+
 // CollectProfile executes insts instructions of the program and returns
 // its branch bias profile. Use a different seed than the evaluation run to
 // model training/evaluation input separation (the paper's profiling
 // references trained and measured on different inputs).
+//
+// The profile is memoized on the program: the interpreter stream is a pure
+// function of (program, seed), so a training run with the same budget
+// always yields the same counts, and repeated studies share one immutable
+// Profile instead of re-interpreting. Callers must not mutate the result.
 func CollectProfile(p *program.Program, seed uint64, insts int64) (*Profile, error) {
+	v, err := p.Memo(profKey{seed, insts}, func() (any, error) { return collectProfile(p, seed, insts) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Profile), nil
+}
+
+func collectProfile(p *program.Program, seed uint64, insts int64) (*Profile, error) {
 	it, err := interp.New(p, seed)
 	if err != nil {
 		return nil, fmt.Errorf("sched: profiling: %w", err)
@@ -67,13 +86,35 @@ func CollectProfile(p *program.Program, seed uint64, insts int64) (*Profile, err
 // TranslateProfiled is Translate with each conditional branch predicted in
 // its profiled direction; unobserved branches use the backward/forward
 // heuristic. Jumps, calls, and register-indirect CTIs are unaffected.
+// xlatProfKey memoizes profiled translations per program. Profiles are
+// keyed by identity: they are immutable once collected (CollectProfile
+// returns a shared memoized instance), so one pointer means one set of
+// predictions.
+type xlatProfKey struct {
+	b    int
+	prof *Profile
+}
+
 func TranslateProfiled(p *program.Program, b int, prof *Profile) (*Translation, error) {
-	t, err := Translate(p, b)
+	if b < 0 {
+		return nil, fmt.Errorf("sched: negative delay slots %d", b)
+	}
+	if prof == nil {
+		return Translate(p, b)
+	}
+	v, err := p.Memo(xlatProfKey{b, prof}, func() (any, error) { return translateProfiled(p, b, prof) })
 	if err != nil {
 		return nil, err
 	}
-	if prof == nil {
-		return t, nil
+	return v.(*Translation), nil
+}
+
+func translateProfiled(p *program.Program, b int, prof *Profile) (*Translation, error) {
+	// A private, uncached translation: the profile pass below edits it in
+	// place; once memoized it is shared read-only like Translate's.
+	t, err := translate(p, b)
+	if err != nil {
+		return nil, err
 	}
 	// Re-resolve conditional branch predictions, then redo the layout
 	// pass since predicted-taken branches replicate target instructions.

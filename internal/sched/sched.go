@@ -79,13 +79,33 @@ func (t *Translation) Expansion() float64 {
 	return float64(t.NewWords-t.OrigWords) / float64(t.OrigWords)
 }
 
+// xlatKey memoizes heuristic translations per program (see Translate).
+type xlatKey struct{ b int }
+
 // Translate builds the translation of p for an architecture with b branch
 // delay slots with optional squashing. b = 0 returns the identity
 // translation. The program must be validated and laid out.
+//
+// The result is memoized on the program: a Translation is a pure function
+// of (program, slot count) and read-only after construction, so sweeps
+// that build one simulator per pass share a single translation per slot
+// count instead of re-running the post-processor. Profiled translations
+// (TranslateProfiled) are rebuilt per call, as they depend on the profile
+// and edit the translation in place.
 func Translate(p *program.Program, b int) (*Translation, error) {
 	if b < 0 {
 		return nil, fmt.Errorf("sched: negative delay slots %d", b)
 	}
+	v, err := p.Memo(xlatKey{b}, func() (any, error) { return translate(p, b) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Translation), nil
+}
+
+// translate is the uncached post-processor; TranslateProfiled starts from
+// it so the copy it mutates is private.
+func translate(p *program.Program, b int) (*Translation, error) {
 	t := &Translation{
 		B:      b,
 		Blocks: make([]BlockXlat, len(p.Blocks)),

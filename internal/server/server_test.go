@@ -28,6 +28,11 @@ var updateGolden = flag.Bool("update", false, "regenerate the golden files under
 // testLab builds a small two-benchmark lab with a fresh registry; each test
 // that asserts counter values gets its own.
 func testLab(t testing.TB, insts int64) *core.Lab {
+	return budgetLab(t, insts, 0) // default event-trace budget
+}
+
+// budgetLab is testLab with an explicit event-trace store budget.
+func budgetLab(t testing.TB, insts, budget int64) *core.Lab {
 	t.Helper()
 	var specs []gen.Spec
 	for _, name := range []string{"gcc", "yacc"} {
@@ -43,6 +48,7 @@ func testLab(t testing.TB, insts int64) *core.Lab {
 	}
 	p := core.DefaultParams()
 	p.Insts = insts
+	p.TraceBudgetBytes = budget
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		t.Fatal(err)
@@ -568,5 +574,81 @@ func TestVersionInfo(t *testing.T) {
 	}
 	if s := info.String(); !strings.HasPrefix(s, "pipecache ") {
 		t.Fatalf("String() = %q", s)
+	}
+}
+
+// burst fires one cold-cache /v1/simulate request per distinct design
+// point, concurrently, and fails the test on any non-200.
+func burst(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, b := range []int{0, 1, 2, 3} {
+		for _, size := range []int{4, 8} {
+			body := fmt.Sprintf(`{"b":%d,"l":%d,"isize_kw":%d,"dsize_kw":%d}`, b, b, size, size)
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("POST: %v", err)
+					return
+				}
+				defer resp.Body.Close()
+				rb, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d: %s", resp.StatusCode, rb)
+				}
+			}(body)
+		}
+	}
+	wg.Wait()
+}
+
+// TestTraceStoreBudgetUnderLoad drives a burst of distinct design points
+// through a cold server and asserts the event-trace store engaged —
+// replayed passes, store hits — while staying within its configured byte
+// budget; the server's one workload set keeps exactly one trace resident.
+func TestTraceStoreBudgetUnderLoad(t *testing.T) {
+	lab := budgetLab(t, 20_000, 64<<20)
+	srv, ts := testServer(t, lab, Config{Workers: 4, QueueCap: 64})
+	burst(t, ts)
+
+	st := lab.TraceStore()
+	if st.Bytes() <= 0 || st.Bytes() > st.Budget() {
+		t.Errorf("store holds %d bytes against budget %d", st.Bytes(), st.Budget())
+	}
+	if st.Entries() != 1 {
+		t.Errorf("entries = %d, want 1 (one workload set)", st.Entries())
+	}
+	reg := srv.Registry()
+	if reg.Counter("trace.store.hits").Value() == 0 {
+		t.Error("no trace store hits under load")
+	}
+	if reg.Counter("lab.pass_replays").Value() == 0 {
+		t.Error("no passes replayed under load")
+	}
+	if n := reg.Counter("lab.replay_fallbacks").Value(); n != 0 {
+		t.Errorf("%d replay fallbacks", n)
+	}
+}
+
+// TestTraceStoreOversizeUnderLoad: a budget too small for any capture must
+// shed the tier gracefully — every request still answers, nothing stays
+// resident, and later passes fall back to live interpretation.
+func TestTraceStoreOversizeUnderLoad(t *testing.T) {
+	lab := budgetLab(t, 20_000, 1)
+	srv, ts := testServer(t, lab, Config{Workers: 4, QueueCap: 64})
+	burst(t, ts)
+
+	st := lab.TraceStore()
+	if st.Entries() != 0 || st.Bytes() != 0 {
+		t.Errorf("oversize trace resident: %d entries, %d bytes", st.Entries(), st.Bytes())
+	}
+	reg := srv.Registry()
+	if reg.Counter("trace.store.oversize_drops").Value() != 1 {
+		t.Errorf("oversize_drops = %d, want 1", reg.Counter("trace.store.oversize_drops").Value())
+	}
+	if reg.Counter("trace.store.live_fallbacks").Value() == 0 {
+		t.Error("no live fallbacks recorded")
 	}
 }

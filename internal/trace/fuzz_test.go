@@ -9,13 +9,24 @@ import (
 // FuzzReader: arbitrary bytes must never panic the reader; valid prefixes
 // must parse cleanly.
 func FuzzReader(f *testing.F) {
+	// Corpus covers both magics: PCT2 (default writer) and legacy PCT1.
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Write(Ref{IFetch, 1, 0x1234})
 	w.Write(Ref{Store, 63, 0xffffffff})
+	w.Write(Ref{Load, 63, 0}) // large negative delta
 	w.Flush()
 	f.Add(buf.Bytes())
+	var buf1 bytes.Buffer
+	w1, _ := NewWriterV1(&buf1)
+	w1.Write(Ref{IFetch, 1, 0x1234})
+	w1.Write(Ref{Store, 63, 0xffffffff})
+	w1.Flush()
+	f.Add(buf1.Bytes())
 	f.Add([]byte("PCT1"))
+	f.Add([]byte("PCT2"))
+	// PCT2 with an oversized varint delta (would overflow uint32).
+	f.Add([]byte("PCT2\x01\xff\xff\xff\xff\xff\x7f"))
 	f.Add([]byte("XXXX"))
 	f.Add([]byte{})
 

@@ -48,6 +48,42 @@ func Replay(r *Reader, icache, dcache *cache.Cache) (ReplayStats, error) {
 	}
 }
 
+// ReplayBank runs every record of the trace through fused instruction and
+// data cache banks (either may be nil), so one replay pass evaluates a
+// whole ladder of configurations at once with the single-pass kernel; the
+// banks accumulate per-configuration statistics. Reference counts are
+// returned as with Replay.
+func ReplayBank(r *Reader, ibank, dbank *cache.Bank) (ReplayStats, error) {
+	var st ReplayStats
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Refs++
+		switch ref.Kind {
+		case IFetch:
+			st.IFetches++
+			if ibank != nil {
+				ibank.Access(ref.Addr, false)
+			}
+		case Load:
+			st.Loads++
+			if dbank != nil {
+				dbank.Access(ref.Addr, false)
+			}
+		case Store:
+			st.Stores++
+			if dbank != nil {
+				dbank.Access(ref.Addr, true)
+			}
+		}
+	}
+}
+
 // Mix interleaves several single-process traces into one multiprogrammed
 // trace, quantum records from each source in rotation, until every source
 // is exhausted. It mirrors how the paper built multiprogramming traces from

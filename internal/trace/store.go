@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"pipecache/internal/obs"
+)
+
+// EventStore is a bounded, byte-budget LRU cache of EventTraces with
+// single-flight capture. The single-flight discipline is load-bearing for
+// determinism, not just efficiency: when several passes that share a trace
+// key start concurrently, exactly one captures (it was going to interpret
+// live anyway) and the rest wait for the commit and then replay, so the
+// store's counters — and the number of interpretations performed — are
+// identical at any GOMAXPROCS and any worker-pool width.
+//
+// Outcome accounting is deliberately scheduling-independent: for K passes
+// of one key the store reports exactly 1 miss and K-1 hits whether a pass
+// waited on the in-flight capture or arrived after it committed. (A
+// "waits" counter would be timing-dependent and is intentionally absent —
+// the determinism tests compare full counter maps.)
+//
+// Oversize traces are remembered in a tombstone set so a key whose capture
+// exceeds the whole budget falls back to live interpretation on every
+// subsequent pass instead of thrashing capture/drop cycles.
+type EventStore struct {
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	entries  map[string]*storeEntry
+	ll       *list.List // front = most recently used
+	inflight map[string]chan struct{}
+	tooBig   map[string]bool
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	evictions     *obs.Counter
+	oversizeDrops *obs.Counter
+	liveFallbacks *obs.Counter
+	bytesGauge    *obs.Gauge
+	entriesGauge  *obs.Gauge
+}
+
+type storeEntry struct {
+	key  string
+	tr   *EventTrace
+	elem *list.Element
+}
+
+// NewStore returns a store bounded to budgetBytes of accounted trace
+// storage. The budget must be positive.
+func NewStore(budgetBytes int64) *EventStore {
+	s := &EventStore{
+		budget:   budgetBytes,
+		entries:  map[string]*storeEntry{},
+		ll:       list.New(),
+		inflight: map[string]chan struct{}{},
+		tooBig:   map[string]bool{},
+	}
+	s.setObsLocked(nil)
+	return s
+}
+
+// SetObs binds the store's metrics to a registry: trace.store.hits /
+// misses / evictions / oversize_drops / live_fallbacks counters and
+// trace.store.bytes / entries gauges. All metrics are registered eagerly
+// so counter sets are identical across runs even when zero.
+func (s *EventStore) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setObsLocked(reg)
+}
+
+func (s *EventStore) setObsLocked(reg *obs.Registry) {
+	s.hits = reg.Counter("trace.store.hits")
+	s.misses = reg.Counter("trace.store.misses")
+	s.evictions = reg.Counter("trace.store.evictions")
+	s.oversizeDrops = reg.Counter("trace.store.oversize_drops")
+	s.liveFallbacks = reg.Counter("trace.store.live_fallbacks")
+	s.bytesGauge = reg.Gauge("trace.store.bytes")
+	s.entriesGauge = reg.Gauge("trace.store.entries")
+	s.bytesGauge.Set(float64(s.bytes))
+	s.entriesGauge.Set(float64(len(s.entries)))
+}
+
+// Budget returns the configured byte budget.
+func (s *EventStore) Budget() int64 { return s.budget }
+
+// Bytes returns the accounted size of the resident traces.
+func (s *EventStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Entries returns the number of resident traces.
+func (s *EventStore) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Acquire resolves a trace key to one of three outcomes:
+//
+//   - a resident trace (retained for the caller — Release when done) and a
+//     nil token: replay it;
+//   - a nil trace and a non-nil CaptureToken: the caller is the designated
+//     capturer — run live with a Recorder teed in, then Commit (or Abort on
+//     failure/cancellation) exactly once;
+//   - nil, nil, nil: the key is tombstoned as oversize — run live without
+//     capturing.
+//
+// If another goroutine holds the capture token for the key, Acquire blocks
+// until it commits or aborts (bounded by ctx) and then retries, so
+// concurrent same-key passes never interpret twice.
+func (s *EventStore) Acquire(ctx context.Context, key string) (*EventTrace, *CaptureToken, error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.ll.MoveToFront(e.elem)
+			e.tr.Retain()
+			s.hits.Inc()
+			s.mu.Unlock()
+			return e.tr, nil, nil
+		}
+		if s.tooBig[key] {
+			s.liveFallbacks.Inc()
+			s.mu.Unlock()
+			return nil, nil, nil
+		}
+		if ch, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			continue
+		}
+		ch := make(chan struct{})
+		s.inflight[key] = ch
+		s.misses.Inc()
+		s.mu.Unlock()
+		return nil, &CaptureToken{s: s, key: key, ch: ch}, nil
+	}
+}
+
+// CaptureToken is the exclusive right (and obligation) to resolve one
+// in-flight capture. Exactly one of Commit or Abort must be called.
+type CaptureToken struct {
+	s    *EventStore
+	key  string
+	ch   chan struct{}
+	done bool
+}
+
+// Commit installs the captured trace (the store takes its own reference;
+// the caller keeps, and must still Release, its creator reference) and
+// wakes every waiter. A trace larger than the whole budget is not
+// installed: the key is tombstoned so later passes run live.
+func (t *CaptureToken) Commit(tr *EventTrace) {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.done {
+		panic("trace: capture token resolved twice")
+	}
+	t.done = true
+	delete(s.inflight, t.key)
+	close(t.ch)
+	if tr.Bytes() > s.budget {
+		s.tooBig[t.key] = true
+		s.oversizeDrops.Inc()
+		return
+	}
+	tr.Retain()
+	e := &storeEntry{key: t.key, tr: tr}
+	e.elem = s.ll.PushFront(e)
+	s.entries[t.key] = e
+	s.bytes += tr.Bytes()
+	s.evictLocked()
+	s.bytesGauge.Set(float64(s.bytes))
+	s.entriesGauge.Set(float64(len(s.entries)))
+}
+
+// Abort abandons the capture (pass failed or was cancelled) and wakes the
+// waiters; one of them re-runs Acquire and becomes the next capturer, so an
+// aborted capture never poisons the key.
+func (t *CaptureToken) Abort() {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.done {
+		panic("trace: capture token resolved twice")
+	}
+	t.done = true
+	delete(s.inflight, t.key)
+	close(t.ch)
+}
+
+// evictLocked drops least-recently-used traces until the store is back
+// within budget. Evicted traces stay alive until their in-flight replays
+// release them; the chunks then return to the pool.
+func (s *EventStore) evictLocked() {
+	for s.bytes > s.budget {
+		el := s.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*storeEntry)
+		s.ll.Remove(el)
+		delete(s.entries, e.key)
+		s.bytes -= e.tr.Bytes()
+		e.tr.Release()
+		s.evictions.Inc()
+	}
+}

@@ -236,18 +236,42 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // NewProgress returns a progress reporter writing to w.
 func NewProgress(w io.Writer) *Progress { return obs.NewProgress(w) }
 
-// Trace files (internal/trace).
+// Trace files and the event-trace tier (internal/trace).
 type (
 	// TraceRef is one reference record of the binary trace format.
 	TraceRef = trace.Ref
-	// TraceWriter streams references to a file.
+	// TraceWriter streams references to a file (PCT2 delta/varint by
+	// default; see NewTraceWriterV1 for the legacy fixed-record format).
 	TraceWriter = trace.Writer
-	// TraceReader reads them back.
+	// TraceReader reads both trace format versions back.
 	TraceReader = trace.Reader
 	// TraceCapture is an interpreter Handler that records a process's
 	// reference stream through a delay-slot translation.
 	TraceCapture = trace.Capture
+	// EventTrace is an in-memory columnar capture of a multiprogrammed
+	// pass's interpreter event streams; a Sim replays it against any cache
+	// configuration with bit-identical results (Sim.ReplayContext).
+	EventTrace = trace.EventTrace
+	// EventRecorder captures an EventTrace from a live pass
+	// (Sim.SetCapture).
+	EventRecorder = trace.Recorder
+	// EventStore is the bounded byte-budget LRU store of EventTraces with
+	// single-flight capture that Lab uses as its second memo tier
+	// (Params.TraceBudgetBytes, Lab.TraceStore).
+	EventStore = trace.EventStore
 )
+
+// NewTraceWriterV1 writes the legacy fixed-record PCT1 trace format.
+func NewTraceWriterV1(w io.Writer) (*TraceWriter, error) { return trace.NewWriterV1(w) }
+
+// NewEventRecorder starts an event-trace capture for the given key and
+// per-benchmark instruction budget.
+func NewEventRecorder(key string, instsPerBench int64) *EventRecorder {
+	return trace.NewRecorder(key, instsPerBench)
+}
+
+// NewEventStore returns a bounded event-trace store.
+func NewEventStore(budgetBytes int64) *EventStore { return trace.NewStore(budgetBytes) }
 
 // Assembly and binary-image helpers (internal/isa, internal/program).
 
