@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-json fuzz tables figures sweep ablations metrics serve golden ci clean
+.PHONY: all build test race vet bench bench-full bench-json fuzz chaos tables figures sweep ablations metrics serve golden ci clean
 
 all: build vet test
 
@@ -36,6 +36,15 @@ fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzParseCircuit -fuzztime 30s ./internal/timing/
 	$(GO) test -fuzz FuzzDesignRequest -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzParsePlan -fuzztime 30s ./internal/fault/
+
+# Chaos suite: the ablation cross-product and the HTTP service under seeded
+# deterministic fault schedules, race detector on (see DESIGN.md §12).
+# Override the seed matrix to replay a failing seed:
+#   PIPECACHE_CHAOS_SEEDS=0xbad make chaos
+PIPECACHE_CHAOS_SEEDS ?= 1,2,3
+chaos:
+	PIPECACHE_CHAOS_SEEDS=$(PIPECACHE_CHAOS_SEEDS) $(GO) test -race -count=1 -v ./internal/chaos
 
 tables:
 	$(GO) run ./cmd/pipecache tables
@@ -69,7 +78,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/core ./internal/obs
+	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pipecache/internal/core"
+	"pipecache/internal/fault"
+	"pipecache/internal/gen"
+	"pipecache/internal/obs"
+)
+
+// chaosInsts keeps each simulation pass fast: the chaos suite runs the
+// ablation cross-product once fault-free plus once per seed.
+const chaosInsts = 25_000
+
+// chaosSeeds returns the fault-schedule seed matrix, overridable via the
+// PIPECACHE_CHAOS_SEEDS environment variable (comma-separated, base-0
+// integers) so CI can fan seeds out and a failing seed can be replayed
+// locally with exactly the same schedule.
+func chaosSeeds(t testing.TB) []uint64 {
+	t.Helper()
+	spec := os.Getenv("PIPECACHE_CHAOS_SEEDS")
+	if spec == "" {
+		spec = "1,2,3"
+	}
+	var seeds []uint64
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			t.Fatalf("PIPECACHE_CHAOS_SEEDS: bad seed %q: %v", f, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("PIPECACHE_CHAOS_SEEDS selects no seeds")
+	}
+	return seeds
+}
+
+// enablePlan parses and installs a fault plan for the duration of the test.
+func enablePlan(t *testing.T, spec string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	fault.Enable(p)
+	t.Cleanup(fault.Disable)
+	return p
+}
+
+// buildLab builds a small two-benchmark lab with the replay tier enabled and
+// a fresh registry.
+func buildLab(t testing.TB, insts int64, workers int) (*core.Lab, *obs.Registry) {
+	t.Helper()
+	var specs []gen.Spec
+	for _, name := range []string{"gcc", "loops"} {
+		s, ok := gen.LookupSpec(name)
+		if !ok {
+			t.Fatalf("spec %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := core.BuildSuite(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Insts = insts
+	p.SweepWorkers = workers
+	lab, err := core.NewLab(suite, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	lab.SetObs(reg)
+	return lab, reg
+}
+
+// injected reports whether err is attributable to the installed fault plan:
+// the injection sentinel itself, a contained injected panic, or an injected
+// cancellation. Anything else is an organic failure the chaos run must not
+// produce.
+func injected(err error) bool {
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, core.ErrPassPanic) ||
+		errors.Is(err, context.Canceled)
+}
+
+// retry runs f until it succeeds, failing the test on any organic error or
+// if the fault budget does not let the operation converge.
+func retry(t *testing.T, name string, f func() error) {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		err := f()
+		if err == nil {
+			return
+		}
+		if !injected(err) {
+			t.Fatalf("%s: organic (non-injected) failure leaked: %v", name, err)
+		}
+	}
+	t.Fatalf("%s: still failing after 200 attempts; the fault budget should have converged", name)
+}
+
+// ablationResults is the ablation cross-product of the core tier, the same
+// set the replay-tier differential test compares.
+type ablationResults struct {
+	Assoc     *core.AssocStudyResult
+	Block     *core.BlockSizeStudyResult
+	TwoLevel  *core.TwoLevelStudyResult
+	Write     *core.WritePolicyStudyResult
+	BTB       *core.BTBSizeStudyResult
+	Profile   *core.ProfileStudyResult
+	Quantum   *core.QuantumStudyResult
+	Stability *core.StabilityStudyResult
+}
+
+// runAblations evaluates the full cross-product, retrying each study until
+// it succeeds (with no plan installed the first attempt always does).
+func runAblations(t *testing.T, l *core.Lab) *ablationResults {
+	t.Helper()
+	r := &ablationResults{}
+	retry(t, "prewarm", func() error { return l.Prewarm() })
+	retry(t, "assoc", func() error { var err error; r.Assoc, err = l.AssocStudy(4); return err })
+	retry(t, "block", func() error { var err error; r.Block, err = l.BlockSizeStudy(4); return err })
+	retry(t, "twolevel", func() error {
+		var err error
+		r.TwoLevel, err = l.TwoLevelStudy(4, []int{32, 128}, 6, 40)
+		return err
+	})
+	retry(t, "write", func() error { var err error; r.Write, err = l.WritePolicyStudy(10); return err })
+	retry(t, "btb", func() error { var err error; r.BTB, err = l.BTBSizeStudy([]int{64, 256}); return err })
+	retry(t, "profile", func() error { var err error; r.Profile, err = l.ProfileStudy(); return err })
+	retry(t, "quantum", func() error {
+		var err error
+		r.Quantum, err = l.QuantumStudy(4, 10, []int64{5_000, 20_000})
+		return err
+	})
+	retry(t, "stability", func() error {
+		var err error
+		r.Stability, err = l.StabilityStudy([]uint64{0, 0x1111})
+		return err
+	})
+	return r
+}
+
+// waitSettled polls until the goroutine count returns to its pre-run level
+// (with a little slack for runtime housekeeping), then fails with a full
+// stack dump if it never does — a worker, waiter, or flight leaked.
+func waitSettled(t *testing.T, before int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after %s: before=%d now=%d\n%s",
+		what, before, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestChaosAblations runs the ablation cross-product under one seeded fault
+// schedule per seed, injecting errors, cancellations, delays, and panics
+// into the lab and trace-store seams, and asserts the standing invariants:
+// results bit-identical to the fault-free baseline once every study
+// eventually succeeds, zero organic failures, an intact trace store with no
+// stuck captures or leaked references, and no leaked goroutines.
+func TestChaosAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ablation cross-product once per seed; skipped with -short")
+	}
+	baseLab, _ := buildLab(t, chaosInsts, 3)
+	baseline := runAblations(t, baseLab)
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			lab, reg := buildLab(t, chaosInsts, 3)
+			plan := enablePlan(t, fmt.Sprintf(
+				"seed=%#x,rate=64/1024,kinds=all,maxdelay=150us,maxfires=40,points=lab.+trace.store.", seed))
+
+			res := runAblations(t, lab)
+			fault.Disable()
+
+			if plan.Fired() == 0 {
+				t.Error("plan never fired; the chaos run was vacuous")
+			}
+			if !reflect.DeepEqual(baseline, res) {
+				t.Error("chaos-run ablation results differ from the fault-free baseline")
+			}
+			if err := lab.TraceStore().CheckIntegrity(); err != nil {
+				t.Errorf("trace store after chaos run: %v", err)
+			}
+			c := reg.Snapshot().Counters
+			if c["lab.replay_fallbacks"] != 0 {
+				t.Errorf("lab.replay_fallbacks = %d, want 0 (a fault corrupted a replay)", c["lab.replay_fallbacks"])
+			}
+			waitSettled(t, before, "the chaos ablation run")
+		})
+	}
+}
+
+// TestChaosTraceReader drives the on-disk trace codec under reader-side
+// fault injection: reads that fail are retried from scratch, and the decoded
+// stream must come out identical to a fault-free decode.
+func TestChaosTraceReader(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			runTraceReaderChaos(t, seed)
+		})
+	}
+}

@@ -1,0 +1,12 @@
+// Package chaos holds the chaos test suite of the concurrent tiers: the
+// ablation cross-product and the HTTP design-space service are run under
+// deterministic, seed-derived fault schedules (see internal/fault) and the
+// standing invariants are asserted after every run — results bit-identical
+// to a fault-free baseline once operations eventually succeed, no organic
+// (non-injected) failure leaking out, no stuck singleflights, no leaked
+// goroutines or trace references, and the trace store's structural
+// invariants intact.
+//
+// The package contains only tests; run it with `make chaos` (which picks the
+// seed matrix from PIPECACHE_CHAOS_SEEDS) or as part of `go test ./...`.
+package chaos

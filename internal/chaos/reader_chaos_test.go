@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"pipecache/internal/fault"
+	"pipecache/internal/trace"
+)
+
+// buildRefs returns a deterministic reference stream mixing kinds and
+// processes so the PCT2 per-(pid, kind) delta bases are all exercised.
+func buildRefs(n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{
+			Kind: trace.Kind(i % 3),
+			PID:  uint8((i * 7) % 5),
+			Addr: uint32(i*13 + (i%3)*1_000_000),
+		}
+	}
+	return refs
+}
+
+// decodeAll reads the whole encoded trace; the injected reader faults
+// surface as errors mid-stream.
+func decodeAll(encoded []byte) ([]trace.Ref, error) {
+	r, err := trace.NewReader(bytes.NewReader(encoded))
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Ref
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ref)
+	}
+}
+
+// runTraceReaderChaos encodes a stream once, decodes it under an injected
+// I/O fault schedule with retry-from-scratch, and requires the surviving
+// decode to be bit-identical to the fault-free one. Panics are excluded:
+// Reader.Read has no containment boundary by design — it models a plain
+// io.Reader, and its callers treat any failure as a failed decode.
+func runTraceReaderChaos(t *testing.T, seed uint64) {
+	t.Helper()
+	want := buildRefs(4096)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range want {
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	baseline, err := decodeAll(encoded)
+	if err != nil {
+		t.Fatalf("fault-free decode: %v", err)
+	}
+	if !reflect.DeepEqual(baseline, want) {
+		t.Fatal("fault-free decode differs from the written stream")
+	}
+
+	plan := enablePlan(t, fmt.Sprintf(
+		"seed=%#x,rate=8/1024,kinds=error+cancel+delay,maxdelay=50us,maxfires=20,points=trace.reader.read", seed))
+	var got []trace.Ref
+	retry(t, "decode", func() error {
+		var derr error
+		got, derr = decodeAll(encoded)
+		return derr
+	})
+	fault.Disable()
+
+	if plan.Fired() == 0 {
+		t.Error("plan never fired; the chaos decode was vacuous")
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Error("chaos decode differs from the fault-free decode")
+	}
+}

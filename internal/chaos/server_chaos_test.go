@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipecache/internal/fault"
+	"pipecache/internal/server"
+)
+
+// chaosRequests is the request mix the server chaos run drives: design
+// points that collapse onto shared flights, plus a figure and a table.
+var chaosRequests = []struct {
+	name, method, path, body string
+}{
+	{"simulate-a", "POST", "/v1/simulate", `{"b":2,"l":2,"isize_kw":8,"dsize_kw":8}`},
+	{"simulate-b", "POST", "/v1/simulate", `{"b":1,"l":1,"isize_kw":4,"dsize_kw":4}`},
+	{"figure-11", "GET", "/v1/figures/11", ""},
+	{"table-4", "GET", "/v1/tables/4", ""},
+}
+
+// fetchOK issues one request, retrying on injected failures — 5xx, 429, and
+// connection-level errors — until a 200 arrives. Any other status is an
+// organic failure and is returned as an error.
+func fetchOK(client *http.Client, base, method, path, body string) ([]byte, error) {
+	for attempt := 0; attempt < 300; attempt++ {
+		var resp *http.Response
+		var err error
+		if method == "GET" {
+			resp, err = client.Get(base + path)
+		} else {
+			resp, err = client.Post(base+path, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			continue // injected cancellation can close the connection mid-response
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return b, nil
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+			continue
+		default:
+			return nil, fmt.Errorf("%s %s: organic status %d: %s", method, path, resp.StatusCode, b)
+		}
+	}
+	return nil, fmt.Errorf("%s %s: no 200 in 300 attempts; the fault budget should have converged", method, path)
+}
+
+// TestChaosServer drives the HTTP service with concurrent clients under one
+// seeded fault schedule per seed, injecting into the server, lab, and
+// trace-store seams. Clients retry retryable failures; every request must
+// eventually answer 200 with a body bit-identical to a fault-free server's,
+// and after the run settles no flight, pool slot, trace capture, or
+// goroutine may be left behind.
+func TestChaosServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the request mix once per seed under faults; skipped with -short")
+	}
+	// Fault-free baseline bodies.
+	baseLab, _ := buildLab(t, 20_000, 0)
+	baseSrv, err := server.New(baseLab, server.Config{Workers: 4, AccessLog: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTS := httptest.NewServer(baseSrv.Handler())
+	baseline := map[string][]byte{}
+	for _, rq := range chaosRequests {
+		b, err := fetchOK(baseTS.Client(), baseTS.URL, rq.method, rq.path, rq.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[rq.name] = b
+	}
+	baseTS.Close()
+	baseSrv.Close()
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			lab, _ := buildLab(t, 20_000, 0)
+			srv, err := server.New(lab, server.Config{Workers: 4, AccessLog: io.Discard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			client := &http.Client{Transport: &http.Transport{}}
+
+			// Panics are excluded here: an injected panic on the cache-leader
+			// seam propagates (by design) to the handler goroutine, where
+			// net/http's own recovery kills the connection — correct behavior,
+			// but it spams the test log. The dedicated regression tests cover
+			// the panic paths.
+			plan := enablePlan(t, fmt.Sprintf(
+				"seed=%#x,rate=96/1024,kinds=error+cancel+delay,maxdelay=150us,maxfires=60,points=server.+lab.+trace.store.", seed))
+
+			var wg sync.WaitGroup
+			errc := make(chan error, 3*len(chaosRequests))
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := range chaosRequests {
+						rq := chaosRequests[(i+g)%len(chaosRequests)]
+						b, err := fetchOK(client, ts.URL, rq.method, rq.path, rq.body)
+						if err != nil {
+							errc <- err
+							return
+						}
+						if !bytes.Equal(b, baseline[rq.name]) {
+							errc <- fmt.Errorf("%s: body differs from fault-free baseline", rq.name)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errc)
+			fault.Disable()
+			for err := range errc {
+				t.Error(err)
+			}
+
+			if plan.Fired() == 0 {
+				t.Error("plan never fired; the chaos run was vacuous")
+			}
+			drainDeadline := time.Now().Add(10 * time.Second)
+			for (srv.PoolInflight() != 0 || srv.CacheInflight() != 0) && time.Now().Before(drainDeadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if n := srv.PoolInflight(); n != 0 {
+				t.Errorf("pool inflight = %d after the run settled", n)
+			}
+			if n := srv.CacheInflight(); n != 0 {
+				t.Errorf("result-cache flights = %d after the run settled (poisoned key)", n)
+			}
+			if err := lab.TraceStore().CheckIntegrity(); err != nil {
+				t.Errorf("trace store after chaos run: %v", err)
+			}
+
+			client.CloseIdleConnections()
+			ts.Close()
+			srv.Close()
+			waitSettled(t, before, "the chaos server run")
+		})
+	}
+}

@@ -12,9 +12,24 @@ import (
 
 	"pipecache/internal/cache"
 	"pipecache/internal/cpisim"
+	"pipecache/internal/fault"
 	"pipecache/internal/obs"
 	"pipecache/internal/timing"
 	"pipecache/internal/trace"
+)
+
+// ErrPassPanic wraps the panic value of a simulation pass that panicked.
+// The pass boundary is the lab's panic containment line: the panic becomes
+// an ordinary pass error (never memoized, see passContext), so one crashing
+// pass cannot poison the memo or kill a sweep worker's whole process.
+var ErrPassPanic = errors.New("core: simulation pass panicked")
+
+// Injection points of the lab tier (see internal/fault): pass execution and
+// individual sweep items, the two seams through which every study runs.
+var (
+	ptPassRun      = fault.NewPoint("lab.pass.run")
+	ptSweepItem    = fault.NewPoint("lab.sweep.item")
+	ptTraceCapture = fault.NewPoint("lab.trace.capture")
 )
 
 // Params are the shared experiment parameters.
@@ -147,8 +162,9 @@ type passKey struct {
 // keeps the published obs counters identical at every GOMAXPROCS. The
 // leader (the goroutine that created the entry) runs the pass and closes
 // done; everyone else waits on done or on their own context. A leader that
-// is cancelled removes the entry again so the memo is never poisoned by one
-// aborted request.
+// fails — cancellation, transient error, or contained panic — removes the
+// entry again before waking waiters, so only successful results are ever
+// memoized and the memo cannot be poisoned by one bad request.
 type passEntry struct {
 	done chan struct{}
 	res  *cpisim.Result
@@ -299,7 +315,12 @@ func (l *Lab) passContext(ctx context.Context, k passKey) (*cpisim.Result, error
 			Quantum:      l.P.Quantum,
 		}
 		e.res, e.err = l.runInstrumented(ctx, cfg, "lab.passes_run")
-		if isCtxErr(e.err) {
+		if e.err != nil {
+			// Only successful results are memoized. A failed entry must be
+			// removed before waking the waiters: caching an error —
+			// cancellation or transient failure alike — would poison the
+			// key, replaying one aborted request's failure to every pass
+			// request for the rest of the lab's lifetime.
 			l.mu.Lock()
 			delete(l.passes, k)
 			l.mu.Unlock()
@@ -333,10 +354,23 @@ func (l *Lab) runInstrumented(ctx context.Context, cfg cpisim.Config, counter st
 // runWorkloads is runInstrumented over an explicit workload set (the
 // profile ablation attaches training data to the workloads before the
 // pass; the event stream is profile-independent, so those passes replay
-// from the same trace as everything else).
-func (l *Lab) runWorkloads(ctx context.Context, cfg cpisim.Config, ws []cpisim.Workload, counter string) (*cpisim.Result, error) {
+// from the same trace as everything else). It is also the pass's panic
+// boundary: a panic below it surfaces as an ErrPassPanic-wrapped error
+// after runOrReplay's capture bookkeeping has unwound cleanly.
+func (l *Lab) runWorkloads(ctx context.Context, cfg cpisim.Config, ws []cpisim.Workload, counter string) (res *cpisim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if l.obs != nil {
+				l.obs.Counter("lab.pass_panics").Inc()
+			}
+			res, err = nil, fmt.Errorf("%w: %v", ErrPassPanic, v)
+		}
+	}()
+	if err := ptPassRun.Inject(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	res, err := l.runOrReplay(ctx, cfg, ws)
+	res, err = l.runOrReplay(ctx, cfg, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -385,12 +419,22 @@ func (l *Lab) runOrReplay(ctx context.Context, cfg cpisim.Config, ws []cpisim.Wo
 	}
 	if tok != nil {
 		// Designated capturer: this pass was going to interpret live
-		// anyway; tee the streams into a recorder on the way.
+		// anyway; tee the streams into a recorder on the way. The deferred
+		// abort also covers a panic in the run: an unresolved token would
+		// wedge every later Acquire of this key on a channel that never
+		// closes.
+		defer func() {
+			if !tok.Resolved() {
+				tok.Abort()
+			}
+		}()
+		if err := ptTraceCapture.Inject(); err != nil {
+			return nil, err
+		}
 		rec := trace.NewRecorder(key, l.P.Insts)
 		sim.SetCapture(rec)
 		res, err := sim.RunContext(ctx, l.P.Insts)
 		if err != nil {
-			tok.Abort()
 			return nil, err
 		}
 		captured := rec.Finish()
@@ -483,7 +527,7 @@ func (l *Lab) forEach(ctx context.Context, n int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := runSweepItem(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -507,7 +551,7 @@ func (l *Lab) forEach(ctx context.Context, n int, fn func(ctx context.Context, i
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := runSweepItem(ctx, i, fn); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, first = i, err
@@ -524,6 +568,22 @@ func (l *Lab) forEach(ctx context.Context, n int, fn func(ctx context.Context, i
 		return first
 	}
 	return ctx.Err()
+}
+
+// runSweepItem runs one sweep item with the pool's panic boundary: a panic
+// in item code outside any pass (passes contain their own, see
+// runWorkloads) becomes an error instead of an unrecovered panic in a
+// worker goroutine, which would kill the process before wg.Wait returned.
+func runSweepItem(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: sweep item %d: %v", ErrPassPanic, i, v)
+		}
+	}()
+	if err := ptSweepItem.Inject(); err != nil {
+		return err
+	}
+	return fn(ctx, i)
 }
 
 // workloads returns the suite's workloads with the lab's seed offset

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestDisabledIsNoop: with no plan installed every injection point is
+// silent.
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	p := NewPoint("test.noop.point")
+	for i := 0; i < 1000; i++ {
+		if err := p.Inject(); err != nil {
+			t.Fatalf("inject with no plan: %v", err)
+		}
+	}
+}
+
+// TestScheduleDeterministic: the same seed produces the same per-hit fault
+// decisions, and a different seed a different schedule.
+func TestScheduleDeterministic(t *testing.T) {
+	p := NewPoint("test.sched.point")
+	run := func(seed uint64) []bool {
+		Enable(&Plan{Seed: seed, Rate1024: 256, Kinds: KindError.Mask()})
+		defer Disable()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Inject() != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical seeds", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	// rate 256/1024 over 200 hits: expect ~50 fires; accept a wide band.
+	if fired < 20 || fired > 90 {
+		t.Errorf("fired %d/200 at rate 1/4", fired)
+	}
+}
+
+// TestKinds: error and cancel injections carry the right sentinels, and a
+// cancel injection is indistinguishable from a context cancellation to
+// errors.Is.
+func TestKinds(t *testing.T) {
+	p := NewPoint("test.kinds.point")
+	Enable(&Plan{Seed: 1, Rate1024: 1024, Kinds: KindError.Mask()})
+	err := p.Inject()
+	Disable()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error injection does not wrap ErrInjected: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("plain error injection wraps context.Canceled: %v", err)
+	}
+
+	Enable(&Plan{Seed: 1, Rate1024: 1024, Kinds: KindCancel.Mask()})
+	err = p.Inject()
+	Disable()
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("cancel injection must wrap both sentinels: %v", err)
+	}
+
+	Enable(&Plan{Seed: 1, Rate1024: 1024, Kinds: KindPanic.Mask()})
+	defer Disable()
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("panic injection did not panic")
+			}
+			pv, ok := v.(PanicValue)
+			if !ok || pv.Point != "test.kinds.point" {
+				t.Fatalf("unexpected panic payload %v", v)
+			}
+		}()
+		p.Inject() //nolint:errcheck // panics
+	}()
+}
+
+// TestMaxFires: the fire budget bounds total injections; once spent every
+// hit passes clean (the convergence property the chaos suite relies on).
+func TestMaxFires(t *testing.T) {
+	p := NewPoint("test.budget.point")
+	plan := &Plan{Seed: 3, Rate1024: 1024, Kinds: KindError.Mask(), MaxFires: 5}
+	Enable(plan)
+	defer Disable()
+	fails := 0
+	for i := 0; i < 100; i++ {
+		if p.Inject() != nil {
+			fails++
+		}
+	}
+	if fails != 5 {
+		t.Fatalf("fired %d times, budget 5", fails)
+	}
+	if plan.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", plan.Fired())
+	}
+	for i := 0; i < 100; i++ {
+		if err := p.Inject(); err != nil {
+			t.Fatalf("fault after budget exhausted: %v", err)
+		}
+	}
+}
+
+// TestPointPrefixes: Plan.Points restricts which points fire.
+func TestPointPrefixes(t *testing.T) {
+	in := NewPoint("scoped.in.point")
+	out := NewPoint("other.out.point")
+	Enable(&Plan{Seed: 5, Rate1024: 1024, Kinds: KindError.Mask(), Points: []string{"scoped."}})
+	defer Disable()
+	if in.Inject() == nil {
+		t.Error("allowlisted point did not fire at rate 1")
+	}
+	if err := out.Inject(); err != nil {
+		t.Errorf("non-matching point fired: %v", err)
+	}
+}
+
+// TestStats: fire accounting is visible per point and kind, and Enable
+// resets it.
+func TestStats(t *testing.T) {
+	p := NewPoint("test.stats.point")
+	Enable(&Plan{Seed: 9, Rate1024: 1024, Kinds: KindError.Mask(), Points: []string{"test.stats."}})
+	for i := 0; i < 3; i++ {
+		p.Inject() //nolint:errcheck
+	}
+	if n := Stats()["test.stats.point/error"]; n != 3 {
+		t.Fatalf("stats = %d, want 3", n)
+	}
+	Enable(&Plan{Seed: 9, Rate1024: 0})
+	defer Disable()
+	if n := Stats()["test.stats.point/error"]; n != 0 {
+		t.Fatalf("Enable did not reset stats: %d", n)
+	}
+}
+
+// TestPerturbNeverFails: Perturb may only delay, whatever the plan allows.
+func TestPerturbNeverFails(t *testing.T) {
+	p := NewPoint("test.perturb.point")
+	Enable(&Plan{Seed: 11, Rate1024: 1024, Kinds: AllKinds, MaxDelayMicros: 1})
+	defer Disable()
+	for i := 0; i < 50; i++ {
+		p.Perturb() // must neither error nor panic
+	}
+}

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan decodes the textual plan encoding used by the chaos tooling
+// (PIPECACHE_CHAOS_* environment and the `make chaos` seed matrix):
+//
+//	seed=0x2a,rate=96/1024,kinds=error+cancel+delay+panic,maxdelay=200us,maxfires=40,points=server.+lab.
+//
+// Fields may appear in any order; every field except seed is optional.
+// Plan.String produces this encoding, and ParsePlan(p.String()) round-trips.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	seen := map[string]bool{}
+	haveSeed := false
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: field %q is not key=value", field)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("fault: duplicate field %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			p.Seed = n
+			haveSeed = true
+		case "rate":
+			num, den, ok := strings.Cut(v, "/")
+			if !ok {
+				den = "1024"
+				num = v
+			}
+			n, err := strconv.Atoi(num)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad rate numerator %q", num)
+			}
+			d, err := strconv.Atoi(den)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("fault: bad rate denominator %q", den)
+			}
+			if n > d {
+				return nil, fmt.Errorf("fault: rate %s exceeds 1", v)
+			}
+			p.Rate1024 = n * 1024 / d
+		case "kinds":
+			var m KindMask
+			for _, name := range strings.Split(v, "+") {
+				switch name {
+				case "error":
+					m |= KindError.Mask()
+				case "cancel":
+					m |= KindCancel.Mask()
+				case "delay":
+					m |= KindDelay.Mask()
+				case "panic":
+					m |= KindPanic.Mask()
+				case "all":
+					m |= AllKinds
+				default:
+					return nil, fmt.Errorf("fault: unknown kind %q", name)
+				}
+			}
+			p.Kinds = m
+		case "maxdelay":
+			us := strings.TrimSuffix(v, "us")
+			n, err := strconv.Atoi(us)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad maxdelay %q", v)
+			}
+			p.MaxDelayMicros = n
+		case "maxfires":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad maxfires %q", v)
+			}
+			p.MaxFires = n
+		case "points":
+			for _, pre := range strings.Split(v, "+") {
+				if pre == "" {
+					return nil, fmt.Errorf("fault: empty point prefix in %q", v)
+				}
+				p.Points = append(p.Points, pre)
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown field %q", k)
+		}
+	}
+	if !haveSeed {
+		return nil, fmt.Errorf("fault: plan %q has no seed", s)
+	}
+	return p, nil
+}
+
+// String renders the plan in the ParsePlan encoding.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=0x%x", p.Seed)
+	if p.Rate1024 > 0 {
+		fmt.Fprintf(&sb, ",rate=%d/1024", p.Rate1024)
+	}
+	if p.Kinds != 0 {
+		names := make([]string, 0, numKinds)
+		for k := 0; k < numKinds; k++ {
+			if p.Kinds.Has(Kind(k)) {
+				names = append(names, Kind(k).String())
+			}
+		}
+		sb.WriteString(",kinds=" + strings.Join(names, "+"))
+	}
+	if p.MaxDelayMicros > 0 {
+		fmt.Fprintf(&sb, ",maxdelay=%dus", p.MaxDelayMicros)
+	}
+	if p.MaxFires > 0 {
+		fmt.Fprintf(&sb, ",maxfires=%d", p.MaxFires)
+	}
+	if len(p.Points) > 0 {
+		sb.WriteString(",points=" + strings.Join(p.Points, "+"))
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=0x2a",
+		"seed=0x7,rate=96/1024",
+		"seed=0x1,rate=512/1024,kinds=error+cancel,maxdelay=200us,maxfires=40,points=server.+lab.",
+		"seed=0x3,kinds=error+cancel+delay+panic",
+	}
+	for _, s := range cases {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParsePlanForms(t *testing.T) {
+	p, err := ParsePlan("seed=42,rate=1/8,kinds=all,maxdelay=5us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: 42, Rate1024: 128, Kinds: AllKinds, MaxDelayMicros: 5}
+	if p.Seed != want.Seed || p.Rate1024 != want.Rate1024 || p.Kinds != want.Kinds ||
+		p.MaxDelayMicros != want.MaxDelayMicros || !reflect.DeepEqual(p.Points, want.Points) {
+		t.Errorf("got %+v, want %+v", p, want)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	for _, s := range []string{
+		"",                     // no seed
+		"rate=1/2",             // no seed
+		"seed=zz",              // bad seed
+		"seed=1,rate=3/2",      // rate > 1
+		"seed=1,rate=-1/4",     // negative
+		"seed=1,kinds=explode", // unknown kind
+		"seed=1,bogus=1",       // unknown field
+		"seed=1,seed=2",        // duplicate
+		"seed=1,points=a+",     // empty prefix
+		"seed=1,maxfires=-4",   // negative budget
+		"seed=1,maxdelay=-2us", // negative delay
+		"seed=1,rate",          // not key=value
+		"seed=1,maxfires=1e3",  // not an integer
+		"seed=1,rate=1/0",      // zero denominator
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+// FuzzParsePlan: decoding never panics, and every accepted plan re-encodes
+// to a string that parses back to the same plan.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=0x2a,rate=96/1024,kinds=error+cancel+delay+panic,maxdelay=200us,maxfires=40,points=server.")
+	f.Add("seed=1")
+	f.Add("seed=1,rate=1/8,kinds=all")
+	f.Add("rate=,kinds=++,seed=")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		enc := p.String()
+		p2, err := ParsePlan(enc)
+		if err != nil {
+			t.Fatalf("re-encoding %q of %q does not parse: %v", enc, s, err)
+		}
+		if p.Seed != p2.Seed || p.Rate1024 != p2.Rate1024 || p.Kinds != p2.Kinds ||
+			p.MaxDelayMicros != p2.MaxDelayMicros || p.MaxFires != p2.MaxFires ||
+			!reflect.DeepEqual(p.Points, p2.Points) {
+			t.Fatalf("round trip changed plan: %+v vs %+v (via %q)", p, p2, enc)
+		}
+	})
+}

@@ -3,10 +3,22 @@ package server
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 
+	"pipecache/internal/fault"
 	"pipecache/internal/obs"
 )
+
+// ptCacheLeader perturbs (or fails) the leadership path of the result
+// cache's singleflight: the seam where an abandoned flight would poison
+// every collapsed follower.
+var ptCacheLeader = fault.NewPoint("server.cache.leader")
+
+// errFlightAbandoned marks a flight whose leader panicked out of the
+// computation. Followers treat it like a leader cancellation: one of them
+// re-runs the computation instead of inheriting the failure.
+var errFlightAbandoned = errors.New("server: result flight abandoned by panicking leader")
 
 // Outcome classifies how the cache served one request.
 type Outcome string
@@ -64,8 +76,10 @@ func NewResultCache(max int, reg *obs.Registry) *ResultCache {
 // Do returns the cached body for key, or computes it exactly once across
 // all concurrent callers. The leader runs compute under its own ctx;
 // followers wait bounded by theirs. A leader that fails does not populate
-// the cache, and if it was cancelled its followers retry (one of them
-// becomes the next leader) rather than inheriting the cancellation.
+// the cache, and if it was cancelled (or panicked out) its followers retry
+// (one of them becomes the next leader) rather than inheriting the
+// failure. Panics propagate to the leader's caller but always resolve the
+// flight first, so one panicking computation can never wedge the key.
 func (c *ResultCache) Do(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
 	for {
 		c.mu.Lock()
@@ -85,7 +99,7 @@ func (c *ResultCache) Do(ctx context.Context, key string, compute func(context.C
 				return nil, OutcomeShared, ctx.Err()
 			}
 			if f.err != nil {
-				if isCtxErr(f.err) {
+				if isCtxErr(f.err) || errors.Is(f.err, errFlightAbandoned) {
 					continue // the leader aborted; take another turn
 				}
 				return nil, OutcomeShared, f.err
@@ -97,17 +111,42 @@ func (c *ResultCache) Do(ctx context.Context, key string, compute func(context.C
 		c.mu.Unlock()
 
 		c.reg.Counter("server.cache.misses").Inc()
-		f.body, f.err = compute(ctx)
-
-		c.mu.Lock()
-		delete(c.inflight, key)
-		if f.err == nil {
-			c.addLocked(key, f.body)
-		}
-		c.mu.Unlock()
-		close(f.done)
-		return f.body, OutcomeMiss, f.err
+		body, err := c.lead(ctx, key, f, compute)
+		return body, OutcomeMiss, err
 	}
+}
+
+// lead runs one computation as the flight's leader and resolves the flight
+// no matter how the computation ends — return or panic. Leaving a flight
+// unresolved would make every later request for the key wait on a channel
+// that never closes.
+func (c *ResultCache) lead(ctx context.Context, key string, f *flight, compute func(context.Context) ([]byte, error)) (body []byte, err error) {
+	resolved := false
+	defer func() {
+		if !resolved { // unwinding from a panic in compute
+			f.body, f.err = nil, errFlightAbandoned
+			c.resolve(key, f)
+		}
+	}()
+	if err = ptCacheLeader.Inject(); err == nil {
+		body, err = compute(ctx)
+	}
+	f.body, f.err = body, err
+	resolved = true
+	c.resolve(key, f)
+	return body, err
+}
+
+// resolve retires the flight: uninstalls it, caches a successful body, and
+// wakes the followers.
+func (c *ResultCache) resolve(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.addLocked(key, f.body)
+	}
+	c.mu.Unlock()
+	close(f.done)
 }
 
 // addLocked inserts a completed body and evicts from the LRU tail past the
@@ -128,4 +167,12 @@ func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// InflightLen returns the number of unresolved flights; the chaos suite
+// asserts it drains to zero (a stuck flight means a poisoned key).
+func (c *ResultCache) InflightLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
 }

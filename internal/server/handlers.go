@@ -125,19 +125,34 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	w.Write([]byte("\n"))
 }
 
-// writeComputeError maps pipeline failures onto HTTP semantics.
+// writeComputeError maps pipeline failures onto HTTP semantics. Context
+// errors are classified by their source: only the caller's own context
+// (r.Context(), which carries the client disconnect and the request
+// timeout) means the client timed out or went away. A cancellation that the
+// caller did not ask for — shutdown, an aborted shared flight, an injected
+// fault — reaches a client that is still connected and waiting, so it gets
+// an honest 503 with a backoff hint instead of a silently closed
+// connection.
 func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrSaturated):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.pool.RetryAfterSeconds()))
 		http.Error(w, "all workers busy and queue full; retry later", http.StatusTooManyRequests)
-	case errors.Is(err, context.DeadlineExceeded):
-		s.reg.Counter("server.requests_timeout").Inc()
-		http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
-	case errors.Is(err, context.Canceled):
-		// The client is gone; there is no one to answer. Account for it
-		// and let the connection close.
-		s.reg.Counter("server.requests_canceled").Inc()
+	case isCtxErr(err):
+		switch cerr := r.Context().Err(); {
+		case cerr != nil && errors.Is(cerr, context.DeadlineExceeded):
+			s.reg.Counter("server.requests_timeout").Inc()
+			http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+		case cerr != nil:
+			// The client is gone; there is no one to answer. Account for
+			// it and let the connection close.
+			s.reg.Counter("server.requests_canceled").Inc()
+		default:
+			// Server-side abort with a live client: retryable.
+			s.reg.Counter("server.requests_aborted").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.pool.RetryAfterSeconds()))
+			http.Error(w, "computation aborted server-side; retry later", http.StatusServiceUnavailable)
+		}
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"pipecache/internal/fault"
 	"pipecache/internal/obs"
 )
 
@@ -13,6 +15,16 @@ import (
 // handlers translate it into 429 + Retry-After so load sheds at admission
 // instead of piling up goroutines.
 var ErrSaturated = errors.New("server: worker pool saturated")
+
+// ErrTaskPanic wraps the panic value of a task that panicked in a worker.
+// The panic is contained at the task boundary: the worker survives, the
+// caller gets an error, and (unlike an unrecovered goroutine panic) the
+// process does not die because one simulation pass hit a bug.
+var ErrTaskPanic = errors.New("server: task panicked")
+
+// ptPoolTask injects faults into task execution inside the worker — the
+// seam a simulation failure, cancellation, or crash would surface through.
+var ptPoolTask = fault.NewPoint("server.pool.task")
 
 // Pool is a bounded worker pool: a fixed set of workers drains a task queue,
 // and submission never blocks — at most workers+queueCap tasks may be in
@@ -26,6 +38,7 @@ type Pool struct {
 	busy     atomic.Int64
 	inflight atomic.Int64
 	limit    int64
+	workers  int
 	reg      *obs.Registry
 
 	closeOnce sync.Once
@@ -47,9 +60,10 @@ func NewPool(workers, queueCap int, reg *obs.Registry) *Pool {
 		queueCap = 0
 	}
 	p := &Pool{
-		tasks: make(chan poolTask, workers+queueCap),
-		limit: int64(workers + queueCap),
-		reg:   reg,
+		tasks:   make(chan poolTask, workers+queueCap),
+		limit:   int64(workers + queueCap),
+		workers: workers,
+		reg:     reg,
 	}
 	reg.Gauge("server.pool.workers").Set(float64(workers))
 	reg.Gauge("server.pool.queue_cap").Set(float64(queueCap))
@@ -67,7 +81,7 @@ func (p *Pool) worker() {
 		err := t.ctx.Err()
 		if err == nil {
 			p.reg.Gauge("server.pool.busy").Set(float64(p.busy.Add(1)))
-			err = t.f(t.ctx)
+			err = p.runTask(t)
 			p.reg.Gauge("server.pool.busy").Set(float64(p.busy.Add(-1)))
 		}
 		// A task whose requester already hung up is skipped, not run;
@@ -75,6 +89,23 @@ func (p *Pool) worker() {
 		p.inflight.Add(-1)
 		t.done <- err
 	}
+}
+
+// runTask executes one task with the panic boundary: a panic (a simulation
+// bug, or an injected one) becomes an ErrTaskPanic-wrapped error instead of
+// killing the worker goroutine — which would take the whole process down
+// and leave the submitter blocked forever on its done channel.
+func (p *Pool) runTask(t poolTask) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.reg.Counter("server.pool.task_panics").Inc()
+			err = fmt.Errorf("%w: %v", ErrTaskPanic, v)
+		}
+	}()
+	if err := ptPoolTask.Inject(); err != nil {
+		return err
+	}
+	return t.f(t.ctx)
 }
 
 // Run submits f and waits for it to finish. Admission is non-blocking:
@@ -96,6 +127,33 @@ func (p *Pool) Run(ctx context.Context, f func(context.Context) error) error {
 	// limit, so this send cannot block.
 	p.tasks <- t
 	return <-t.done
+}
+
+// Inflight returns the number of admitted tasks not yet released (queued or
+// running).
+func (p *Pool) Inflight() int { return int(p.inflight.Load()) }
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// RetryAfterSeconds estimates how long a rejected or aborted request should
+// back off before retrying: the current in-flight depth divided by the
+// worker count (each worker retires roughly one task per unit), floored at
+// one second and capped at 30. It is derived from live queue state, not a
+// constant, so clients back off harder the deeper the backlog.
+func (p *Pool) RetryAfterSeconds() int {
+	w := p.workers
+	if w < 1 {
+		w = 1
+	}
+	s := (int(p.inflight.Load()) + w - 1) / w
+	if s < 1 {
+		s = 1
+	}
+	if s > 30 {
+		s = 30
+	}
+	return s
 }
 
 // Close stops accepting work and waits for the workers to drain the queue.

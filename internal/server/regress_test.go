@@ -1,0 +1,241 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pipecache/internal/fault"
+	"pipecache/internal/obs"
+)
+
+// enablePlan parses and installs a fault plan for the duration of the test.
+func enablePlan(t *testing.T, spec string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	fault.Enable(p)
+	t.Cleanup(fault.Disable)
+	return p
+}
+
+// TestCacheLeaderPanicDoesNotPoisonKey is the singleflight-poisoning
+// regression: a compute that panics must still resolve its flight. On the
+// pre-fix code the flight stayed in the inflight map forever and this test
+// timed out waiting for the retry — every later request for the key blocked
+// on a done channel that never closes.
+func TestCacheLeaderPanicDoesNotPoisonKey(t *testing.T) {
+	c := NewResultCache(4, obs.NewRegistry())
+	ctx := context.Background()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leader panic did not propagate to the leader's caller")
+			}
+		}()
+		c.Do(ctx, "k", func(context.Context) ([]byte, error) { panic("compute bug") })
+	}()
+
+	if n := c.InflightLen(); n != 0 {
+		t.Fatalf("flight leaked after panic: %d inflight", n)
+	}
+	done := make(chan error, 1)
+	go func() {
+		body, _, err := c.Do(ctx, "k", func(context.Context) ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		if err == nil && string(body) != "ok" {
+			err = fmt.Errorf("body = %q", body)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retry after panicking leader: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("key poisoned: retry after panicking leader never completed")
+	}
+}
+
+// TestFollowerSurvivesPanickingLeader: a follower collapsed onto a flight
+// whose leader panics out must retry (and win leadership) instead of
+// inheriting the failure or blocking forever.
+func TestFollowerSurvivesPanickingLeader(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewResultCache(4, reg)
+	ctx := context.Background()
+
+	leaderIn := make(chan struct{})
+	followerJoined := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the leader's own caller absorbs the panic
+		c.Do(ctx, "k", func(context.Context) ([]byte, error) {
+			close(leaderIn)
+			<-followerJoined
+			panic("leader bug")
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan error, 1)
+	go func() {
+		body, _, err := c.Do(ctx, "k", func(context.Context) ([]byte, error) {
+			return []byte("recomputed"), nil
+		})
+		if err == nil && string(body) != "recomputed" {
+			err = fmt.Errorf("body = %q", body)
+		}
+		done <- err
+	}()
+	waitFor(t, "the follower to collapse onto the flight", func() bool {
+		return reg.Counter("server.cache.shared").Value() >= 1
+	})
+	close(followerJoined)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follower after panicking leader: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never completed after its leader panicked")
+	}
+	if n := c.InflightLen(); n != 0 {
+		t.Fatalf("%d flights leaked", n)
+	}
+}
+
+// TestPoolTaskPanicContained: a panicking task must surface as ErrTaskPanic
+// to its submitter while the worker goroutine survives to run later tasks.
+// Pre-fix the panic killed the worker goroutine — and the process.
+func TestPoolTaskPanicContained(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, 2, reg)
+	defer p.Close()
+	ctx := context.Background()
+
+	err := p.Run(ctx, func(context.Context) error { panic("task bug") })
+	if !errors.Is(err, ErrTaskPanic) {
+		t.Fatalf("err = %v, want ErrTaskPanic", err)
+	}
+	if !strings.Contains(err.Error(), "task bug") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+	if n := reg.Counter("server.pool.task_panics").Value(); n != 1 {
+		t.Fatalf("task_panics = %d, want 1", n)
+	}
+	// Both workers must still be alive and draining.
+	for i := 0; i < 4; i++ {
+		if err := p.Run(ctx, func(context.Context) error { return nil }); err != nil {
+			t.Fatalf("task %d after panic: %v", i, err)
+		}
+	}
+	if n := p.Inflight(); n != 0 {
+		t.Fatalf("inflight = %d after drain", n)
+	}
+}
+
+// TestServerSideAbortAnswers503: a cancellation the client did not ask for
+// (here injected at the pool-task seam, as shutdown or an aborted shared
+// flight would produce) must answer the still-connected client with 503 and
+// a queue-derived Retry-After — not a silently closed connection, and not a
+// 504 blamed on a deadline the client never hit.
+func TestServerSideAbortAnswers503(t *testing.T) {
+	lab := testLab(t, 20_000)
+	srv, ts := testServer(t, lab, Config{Workers: 2})
+
+	enablePlan(t, "seed=1,rate=1024/1024,kinds=cancel,maxfires=1,points=server.pool.task")
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", simBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want an integer in 1..30", resp.Header.Get("Retry-After"))
+	}
+	if n := srv.Registry().Counter("server.requests_aborted").Value(); n != 1 {
+		t.Fatalf("requests_aborted = %d, want 1", n)
+	}
+	if n := srv.Registry().Counter("server.requests_timeout").Value(); n != 0 {
+		t.Fatalf("abort misclassified as timeout: requests_timeout = %d", n)
+	}
+
+	// The fault budget is spent; the advertised retry must succeed.
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", simBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after 503: status %d (%s)", resp.StatusCode, body)
+	}
+	if n := srv.CacheInflight(); n != 0 {
+		t.Fatalf("%d flights leaked", n)
+	}
+}
+
+// TestFollowerSurvivesLeaderDisconnect at the HTTP level: two identical
+// requests collapse onto one flight; the leader's client disconnects
+// mid-computation. The follower must get a 200 (it retries leadership and
+// recomputes under its own context) rather than inheriting the leader's
+// context.Canceled.
+func TestFollowerSurvivesLeaderDisconnect(t *testing.T) {
+	lab := testLab(t, 2_000_000)
+	srv, ts := testServer(t, lab, Config{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/simulate", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	leaderErr := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("doomed leader completed with status %d", resp.StatusCode)
+		}
+		leaderErr <- err
+	}()
+	waitFor(t, "the leader's pass to start", func() bool {
+		return srv.Registry().Gauge("server.pool.busy").Value() >= 1
+	})
+
+	followerDone := make(chan error, 1)
+	go func() {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", simBody)
+		if resp.StatusCode != http.StatusOK {
+			followerDone <- fmt.Errorf("follower status %d: %s", resp.StatusCode, body)
+			return
+		}
+		followerDone <- nil
+	}()
+	waitFor(t, "the follower to collapse onto the flight", func() bool {
+		return srv.Registry().Counter("server.cache.shared").Value() >= 1
+	})
+	cancel()
+
+	if err := <-leaderErr; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("leader error = %v, want context canceled", err)
+	}
+	select {
+	case err := <-followerDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("follower never completed after the leader disconnected")
+	}
+	if n := srv.CacheInflight(); n != 0 {
+		t.Fatalf("%d flights leaked", n)
+	}
+}

@@ -128,6 +128,14 @@ func New(lab *core.Lab, cfg Config) (*Server, error) {
 // Registry returns the shared metric registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// PoolInflight returns the number of worker-pool tasks admitted but not yet
+// released; the chaos suite asserts it drains to zero once the server idles.
+func (s *Server) PoolInflight() int { return s.pool.Inflight() }
+
+// CacheInflight returns the number of unresolved result-cache singleflights;
+// a nonzero value on an idle server means a poisoned key.
+func (s *Server) CacheInflight() int { return s.cache.InflightLen() }
+
 // Handler returns the full middleware-wrapped handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 

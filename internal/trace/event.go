@@ -155,6 +155,10 @@ func (t *EventTrace) Events() int64 {
 // by the creator) must be matched by a Release.
 func (t *EventTrace) Retain() { t.refs.Add(1) }
 
+// Refs returns the current reference count; the chaos suite's leak check
+// asserts a settled resident trace is held by exactly the store.
+func (t *EventTrace) Refs() int32 { return t.refs.Load() }
+
 // Release drops one reference; the last release returns the chunks to the
 // pool. Using a trace after its last release is a bug.
 func (t *EventTrace) Release() {

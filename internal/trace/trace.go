@@ -34,7 +34,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"pipecache/internal/fault"
 )
+
+// ptReaderRead injects I/O-shaped faults into on-disk trace reading (both
+// PCT magics), standing in for the short reads, disk errors, and truncated
+// files a production trace archive would produce.
+var ptReaderRead = fault.NewPoint("trace.reader.read")
 
 // Kind classifies a reference.
 type Kind uint8
@@ -194,6 +201,9 @@ func (t *Reader) Version() int {
 
 // Read returns the next record, or io.EOF at a clean end of trace.
 func (t *Reader) Read() (Ref, error) {
+	if err := ptReaderRead.Inject(); err != nil {
+		return Ref{}, fmt.Errorf("trace: record %d: %w", t.count, err)
+	}
 	if t.v1 {
 		return t.readV1()
 	}
