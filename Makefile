@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-json fuzz chaos tables figures sweep ablations metrics serve golden ci clean
+.PHONY: all build test race vet bench bench-full bench-json fuzz chaos tables figures sweep ablations metrics serve bake golden ci clean
 
 all: build vet test
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseCircuit -fuzztime 30s ./internal/timing/
 	$(GO) test -fuzz FuzzDesignRequest -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzParsePlan -fuzztime 30s ./internal/fault/
+	$(GO) test -fuzz FuzzSurfaceReader -fuzztime 30s ./internal/surface/
 
 # Chaos suite: the ablation cross-product and the HTTP service under seeded
 # deterministic fault schedules, race detector on (see DESIGN.md §12).
@@ -45,6 +46,7 @@ fuzz:
 PIPECACHE_CHAOS_SEEDS ?= 1,2,3
 chaos:
 	PIPECACHE_CHAOS_SEEDS=$(PIPECACHE_CHAOS_SEEDS) $(GO) test -race -count=1 -v ./internal/chaos
+	$(GO) test -race -count=1 -run 'TestSurfaceDifferential|TestSurfaceBackfillFault' ./internal/surface ./internal/server
 
 tables:
 	$(GO) run ./cmd/pipecache tables
@@ -67,10 +69,16 @@ metrics:
 serve:
 	$(GO) run ./cmd/pipecache serve -addr :8080
 
+# Bake the full design space into a PSF1 surface artifact; serve it with
+# `pipecache serve -surface surface.psf1` (see README "Baking").
+bake:
+	$(GO) run ./cmd/pipecache bake -out surface.psf1
+
 # Regenerate the golden files after an intended behaviour change.
 golden:
 	$(GO) test ./internal/core -run TestGolden -update
 	$(GO) test ./internal/server -run TestGolden -update
+	$(GO) test ./internal/surface -run TestGolden -update
 
 # The full gate CI runs: format check, vet, build, tests, race.
 ci:
@@ -78,7 +86,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos
+	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos ./internal/surface
 
 clean:
 	$(GO) clean ./...

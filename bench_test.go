@@ -11,7 +11,11 @@ package pipecache
 //	PIPECACHE_BENCH_INSTS=2000000 go test -bench=. -benchtime=1x
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
@@ -597,6 +601,43 @@ func BenchmarkAsymmetricSplits(b *testing.B) {
 		}
 		if i == 0 {
 			report(b, r)
+		}
+	}
+}
+
+// BenchmarkSurfaceLookup measures one /v1/simulate answer served from a
+// baked surface, end to end through the HTTP handler (decode, index,
+// marshal, ETag). Compare against BenchmarkSimulatorThroughput: the baked
+// path replaces a full simulation pass with an index-and-read, so it should
+// be several orders of magnitude cheaper per request.
+func BenchmarkSurfaceLookup(b *testing.B) {
+	l := lab(b)
+	d, err := BakeSurface(context.Background(), l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := EncodeSurface(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sf, err := DecodeSurface(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(l, ServerConfig{Surface: sf, AccessLog: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	body := []byte(`{"b":2,"l":2,"isize_kw":8,"dsize_kw":8}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
 		}
 	}
 }

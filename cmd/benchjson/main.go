@@ -5,9 +5,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -124,6 +128,62 @@ func replayBench(insts int64) (func(b *testing.B) int64, error) {
 			total += res.Benches[0].Insts
 		}
 		return total
+	}, nil
+}
+
+// surfaceBench serves one baked /v1/simulate request per iteration through
+// the HTTP handler — body decode, design-space index, marshal, ETag. The
+// speedup against BenchmarkSimulatorThroughput is the per-request win of
+// the baked-surface tier: an index-and-read where the live path runs a full
+// simulation pass.
+func surfaceBench(insts int64) (func(b *testing.B) int64, error) {
+	var specs []pipecache.Spec
+	for _, name := range []string{"gcc", "yacc"} {
+		s, ok := pipecache.LookupBenchmark(name)
+		if !ok {
+			return nil, fmt.Errorf("benchmark %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := pipecache.BuildSuite(specs)
+	if err != nil {
+		return nil, err
+	}
+	p := pipecache.DefaultParams()
+	p.Insts = insts
+	lab, err := pipecache.NewLab(suite, p)
+	if err != nil {
+		return nil, err
+	}
+	lab.SetObs(pipecache.NewRegistry())
+	d, err := pipecache.BakeSurface(context.Background(), lab)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := pipecache.EncodeSurface(d)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := pipecache.DecodeSurface(enc)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := pipecache.NewServer(lab, pipecache.ServerConfig{Surface: sf, AccessLog: io.Discard})
+	if err != nil {
+		return nil, err
+	}
+	h := srv.Handler()
+	body := []byte(`{"b":2,"l":2,"isize_kw":8,"dsize_kw":8}`)
+	return func(b *testing.B) int64 {
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+		return 0
 	}, nil
 }
 
@@ -250,6 +310,20 @@ func main() {
 		Baseline: live.Name,
 		Against:  replayed.Name,
 		Speedup:  live.NsPerOp / replayed.NsPerOp,
+	})
+
+	surfaceFn, err := surfaceBench(*insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	lookup := run("BenchmarkSurfaceLookup", surfaceFn)
+	rep.Benchmarks = append(rep.Benchmarks, lookup)
+	rep.Speedups = append(rep.Speedups, speedupRecord{
+		Name:     "surface_lookup_vs_live_pass",
+		Baseline: live.Name,
+		Against:  lookup.Name,
+		Speedup:  live.NsPerOp / lookup.NsPerOp,
 	})
 
 	ablLive, err := ablationSuite(*insts, -1)

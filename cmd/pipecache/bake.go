@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pipecache/internal/surface"
+)
+
+// runBake enumerates the full design space on the sweep pool and writes
+// the PSF1 surface artifact `pipecache serve -surface` answers from. The
+// bake is deterministic: the same flags produce a byte-identical artifact
+// (and hash) at any -sweep-workers setting.
+func runBake(args []string) error {
+	fs := flag.NewFlagSet("bake", flag.ExitOnError)
+	o := commonFlags(fs)
+	out := fs.String("out", "surface.psf1", "output surface path")
+	fs.Parse(args)
+
+	lab, err := buildLab(o)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := surface.Bake(ctx, lab)
+	if err != nil {
+		return err
+	}
+	b, err := surface.Encode(d)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	// Report the identity the serving side exposes: decode what was
+	// written so the printed hash is the artifact's, not the intent's.
+	sf, err := surface.Decode(b)
+	if err != nil {
+		return fmt.Errorf("self-check: written surface does not decode: %w", err)
+	}
+	ph := sf.ParamsHash()
+	fmt.Printf("baked %s: %d points, %d best, %d figures, %d tables, %d bytes\n",
+		*out, sf.NumPoints(), len(d.Best), len(d.Figures), len(d.Tables), sf.Size())
+	fmt.Printf("surface hash: %s\n", sf.Hash())
+	fmt.Printf("params hash:  %s\n", hex.EncodeToString(ph[:]))
+	return writeMetrics(lab, o)
+}

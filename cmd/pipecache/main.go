@@ -11,6 +11,8 @@
 //	pipecache simulate [flags]   evaluate one design point
 //	pipecache serve    [flags]   serve the design space over HTTP/JSON with
 //	                             result caching and live metrics
+//	pipecache bake     [flags]   precompute the design-space surface into a
+//	                             PSF1 artifact for O(1) serving
 //	pipecache tracegen [flags]   write a multiprogrammed reference trace
 //	pipecache timing             print the timing model's Table 6 inputs
 //	pipecache metrics  [flags]   run an instrumented pass and print its
@@ -54,6 +56,8 @@ func main() {
 		err = runSimulate(args)
 	case "serve":
 		err = runServe(args)
+	case "bake":
+		err = runBake(args)
 	case "version":
 		err = runVersion(args)
 	case "tracegen":
@@ -89,6 +93,8 @@ commands:
   simulate   evaluate one design point
   serve      HTTP/JSON design-space service (caching, backpressure,
              /metrics, graceful drain)
+  bake       precompute the design-space surface into a PSF1 artifact
+             for O(1) serving (pipecache serve -surface)
   version    print the binary's build identity
   tracegen   write a multiprogrammed reference trace
   timing     timing model summary (Table 6, floorplan)

@@ -15,6 +15,7 @@ import (
 	"pipecache/internal/gen"
 	"pipecache/internal/obs"
 	"pipecache/internal/server"
+	"pipecache/internal/surface"
 )
 
 // runServe starts the HTTP design-space service: the lab behind an
@@ -31,6 +32,8 @@ func runServe(args []string) error {
 	cacheEntries := fs.Int("cache-entries", 512, "content-addressed result cache bound")
 	grace := fs.Duration("shutdown-grace", 30*time.Second, "in-flight drain bound on shutdown")
 	prewarm := fs.Bool("prewarm", false, "run all simulation passes before listening")
+	surfacePath := fs.String("surface", "", "baked PSF1 surface to serve /v1/* from (see pipecache bake)")
+	overlayEntries := fs.Int("overlay-entries", 0, "backfill overlay bound above the surface (default 1024)")
 	fs.Parse(args)
 
 	// Build the lab without the eager prewarm of the batch subcommands:
@@ -61,6 +64,16 @@ func runServe(args []string) error {
 		}
 	}
 
+	var sf *surface.Surface
+	if *surfacePath != "" {
+		sf, err = surface.Load(*surfacePath)
+		if err != nil {
+			return fmt.Errorf("loading surface: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded surface %s: %d points, %d bytes, hash %s\n",
+			*surfacePath, sf.NumPoints(), sf.Size(), sf.Hash())
+	}
+
 	srv, err := server.New(lab, server.Config{
 		Addr:           *addr,
 		RequestTimeout: *reqTimeout,
@@ -68,6 +81,8 @@ func runServe(args []string) error {
 		QueueCap:       *queue,
 		CacheEntries:   *cacheEntries,
 		ShutdownGrace:  *grace,
+		Surface:        sf,
+		OverlayEntries: *overlayEntries,
 	})
 	if err != nil {
 		return err

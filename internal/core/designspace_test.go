@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"pipecache/internal/cpisim"
+	"pipecache/internal/gen"
+)
+
+// TestDesignIndexInvertsDesignSpace pins the canonical-ordering contract
+// every baked surface depends on: DesignIndex must be the exact inverse
+// of the DesignSpace enumeration.
+func TestDesignIndexInvertsDesignSpace(t *testing.T) {
+	p := DefaultParams()
+	pts := DesignSpace(p)
+	wantLen := 4 * 4 * len(p.SizesKW) * len(p.SizesKW) * 2
+	if len(pts) != wantLen {
+		t.Fatalf("DesignSpace has %d points, want %d", len(pts), wantLen)
+	}
+	seen := make(map[DesignPoint]bool, len(pts))
+	for i, pt := range pts {
+		if seen[pt] {
+			t.Fatalf("duplicate point %+v", pt)
+		}
+		seen[pt] = true
+		if got := DesignIndex(p, pt); got != i {
+			t.Fatalf("DesignIndex(%+v) = %d, want %d", pt, got, i)
+		}
+	}
+}
+
+// TestDesignIndexRejectsOutside: anything outside the enumerated space
+// maps to -1 so the server routes it to the live fallback instead of
+// reading a wrong record.
+func TestDesignIndexRejectsOutside(t *testing.T) {
+	p := DefaultParams()
+	for _, pt := range []DesignPoint{
+		{B: -1, L: 0, ISizeKW: 1, DSizeKW: 1, Scheme: cpisim.LoadStatic},
+		{B: 4, L: 0, ISizeKW: 1, DSizeKW: 1, Scheme: cpisim.LoadStatic},
+		{B: 0, L: 4, ISizeKW: 1, DSizeKW: 1, Scheme: cpisim.LoadStatic},
+		{B: 0, L: 0, ISizeKW: 3, DSizeKW: 1, Scheme: cpisim.LoadStatic},
+		{B: 0, L: 0, ISizeKW: 1, DSizeKW: 64, Scheme: cpisim.LoadStatic},
+		{B: 0, L: 0, ISizeKW: 1, DSizeKW: 1, Scheme: cpisim.LoadScheme(9)},
+	} {
+		if got := DesignIndex(p, pt); got != -1 {
+			t.Errorf("DesignIndex(%+v) = %d, want -1", pt, got)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must move with every
+// result-bearing parameter and stay put for execution-only knobs, so
+// baked surfaces are accepted exactly when they answer the same space.
+func TestFingerprintSensitivity(t *testing.T) {
+	// Fingerprint reads only the spec identities and weights, so a suite
+	// literal avoids synthesizing programs here.
+	s := &Suite{
+		Specs:   []gen.Spec{{Name: "gcc", Seed: 0x1}, {Name: "yacc", Seed: 0x2}},
+		Weights: []float64{0.5, 0.5},
+	}
+	p := DefaultParams()
+	base := Fingerprint(s, p)
+
+	same := p
+	same.SweepWorkers = 7
+	same.TraceBudgetBytes = 123
+	if Fingerprint(s, same) != base {
+		t.Error("fingerprint moved with an execution-only knob")
+	}
+
+	for name, mut := range map[string]func(*Params){
+		"insts":     func(q *Params) { q.Insts++ },
+		"l2ns":      func(q *Params) { q.L2TimeNs++ },
+		"sizes":     func(q *Params) { q.SizesKW = []int{1, 2} },
+		"penalties": func(q *Params) { q.Penalties = []int{7} },
+		"seed":      func(q *Params) { q.SeedOffset = 0xDEAD },
+	} {
+		q := p
+		mut(&q)
+		if Fingerprint(s, q) == base {
+			t.Errorf("fingerprint did not move with %s", name)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"pipecache/internal/core"
 	"pipecache/internal/obs"
+	"pipecache/internal/surface"
 )
 
 // Config tunes the server; zero values take the documented defaults.
@@ -57,6 +58,15 @@ type Config struct {
 	// AccessLog receives one structured line per request (default
 	// os.Stderr; io.Discard silences it).
 	AccessLog io.Writer
+	// Surface is an optional baked design-space surface (see
+	// internal/surface): when set, the /v1 endpoints answer from it as
+	// O(1) lookups, falling back to live simulation — and backfilling the
+	// overlay — for anything outside the baked space. New rejects a
+	// surface baked for a different lab.
+	Surface *surface.Surface
+	// OverlayEntries bounds the backfill overlay above the surface
+	// (default surface.DefaultOverlayEntries); unused without Surface.
+	OverlayEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,15 +96,17 @@ func (c Config) withDefaults() Config {
 // Server serves a Lab's design space over HTTP. Build with New, mount
 // Handler (or run ListenAndServe), and Close when done.
 type Server struct {
-	lab   *core.Lab
-	cfg   Config
-	reg   *obs.Registry
-	cache *ResultCache
-	pool  *Pool
-	mux   *http.ServeMux
-	log   *log.Logger
-	start time.Time
-	build BuildInfo
+	lab     *core.Lab
+	cfg     Config
+	reg     *obs.Registry
+	cache   *ResultCache
+	pool    *Pool
+	mux     *http.ServeMux
+	log     *log.Logger
+	start   time.Time
+	build   BuildInfo
+	surface *surface.Surface // nil when serving live-only
+	overlay *surface.Overlay // nil without a surface
 }
 
 // New wraps lab with the HTTP service. The server shares the lab's metric
@@ -121,8 +133,30 @@ func New(lab *core.Lab, cfg Config) (*Server, error) {
 		start: time.Now(),
 		build: VersionInfo(),
 	}
+	if cfg.Surface != nil {
+		if err := validateSurface(cfg.Surface, lab); err != nil {
+			return nil, err
+		}
+		s.surface = cfg.Surface
+		s.overlay = surface.NewOverlay(cfg.OverlayEntries, reg)
+	}
 	s.routes()
 	return s, nil
+}
+
+// validateSurface refuses a surface that was baked for a different design
+// space: the params hash must match the lab's fingerprint and the point
+// section must cover the lab's enumeration exactly. Serving a mismatched
+// surface would silently return another experiment's numbers.
+func validateSurface(sf *surface.Surface, lab *core.Lab) error {
+	want := surface.HashParams(core.Fingerprint(lab.Suite, lab.P))
+	if sf.ParamsHash() != want {
+		return fmt.Errorf("server: surface %s was baked for a different lab (params hash mismatch); rebake with matching -insts/-benchmarks", sf.Hash()[:12])
+	}
+	if n := len(core.DesignSpace(lab.P)); sf.NumPoints() != n {
+		return fmt.Errorf("server: surface has %d points, lab's design space has %d", sf.NumPoints(), n)
+	}
+	return nil
 }
 
 // Registry returns the shared metric registry.

@@ -1,0 +1,479 @@
+package surface
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	magicPrefix  = "PSF"
+	magicVersion = '1'
+
+	// Decode bounds: a surface is a small artifact, so anything that
+	// claims more than these is corrupt or hostile. Lengths are always
+	// cross-checked against the remaining input before allocating.
+	maxSections = 1 << 12
+	maxNameLen  = 256
+	maxStrLen   = 1 << 20
+)
+
+// Section names of the v1 layout. Unknown names are skipped on decode so
+// the format can grow additively without a magic bump.
+const (
+	secPoints       = "points"
+	secBest         = "best"
+	secFigurePrefix = "figure:"
+	secTablePrefix  = "table:"
+)
+
+// Encode serializes d into the PSF1 byte format. The output is
+// deterministic: sections are emitted in a fixed order (points, best,
+// figures sorted by key, tables sorted by number), so equal Data encodes
+// to equal bytes and the golden-file tier can diff format drift.
+func Encode(d *Data) ([]byte, error) {
+	if d == nil {
+		return nil, fmt.Errorf("surface: nil data")
+	}
+	figs := append([]FigureRecord(nil), d.Figures...)
+	sort.Slice(figs, func(i, j int) bool { return figs[i].Key < figs[j].Key })
+	tabs := append([]TableRecord(nil), d.Tables...)
+	sort.Slice(tabs, func(i, j int) bool { return tabs[i].N < tabs[j].N })
+
+	var sections []section
+	sections = append(sections,
+		section{name: secPoints, payload: encodePoints(d.Points)},
+		section{name: secBest, payload: encodeBest(d.Best)},
+	)
+	for i := range figs {
+		if len(figs[i].Key) == 0 || len(figs[i].Key) > maxNameLen-len(secFigurePrefix) {
+			return nil, fmt.Errorf("surface: bad figure key %q", figs[i].Key)
+		}
+		sections = append(sections, section{
+			name:    secFigurePrefix + figs[i].Key,
+			payload: encodeFigure(&figs[i]),
+		})
+	}
+	for _, t := range tabs {
+		sections = append(sections, section{
+			name:    secTablePrefix + strconv.Itoa(t.N),
+			payload: []byte(t.Text),
+		})
+	}
+
+	var payload []byte
+	payload = binary.AppendUvarint(payload, uint64(len(sections)))
+	for _, s := range sections {
+		payload = binary.AppendUvarint(payload, uint64(len(s.name)))
+		payload = append(payload, s.name...)
+		payload = binary.AppendUvarint(payload, uint64(len(s.payload)))
+		payload = append(payload, s.payload...)
+	}
+
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, 4+32+32+len(payload))
+	out = append(out, magicPrefix...)
+	out = append(out, magicVersion)
+	out = append(out, d.ParamsHash[:]...)
+	out = append(out, sum[:]...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+type section struct {
+	name    string
+	payload []byte
+}
+
+// Decode parses and validates a PSF1 surface: magic, version, payload
+// hash, and every internal length. The returned Surface pins the decoded
+// content in memory.
+func Decode(b []byte) (*Surface, error) {
+	return decode(b, true)
+}
+
+// decode is Decode with the payload-hash check optional; the fuzz harness
+// uses verify=false to reach the section decoders with arbitrary bytes
+// (mutated inputs cannot recompute the hash, so the verified path alone
+// would never exercise them).
+func decode(b []byte, verify bool) (*Surface, error) {
+	if len(b) < 4+32+32 {
+		return nil, fmt.Errorf("surface: truncated header (%d bytes)", len(b))
+	}
+	magic := b[:4]
+	if !bytes.HasPrefix(magic, []byte(magicPrefix)) {
+		return nil, fmt.Errorf("surface: bad magic %q", magic)
+	}
+	switch v := magic[3]; {
+	case v == magicVersion:
+	case v > magicVersion && v <= '9':
+		return nil, fmt.Errorf("surface: format version %c is newer than this reader (PSF1); rebake or upgrade", v)
+	default:
+		return nil, fmt.Errorf("surface: bad magic %q", magic)
+	}
+	d := &Data{}
+	copy(d.ParamsHash[:], b[4:36])
+	var want [32]byte
+	copy(want[:], b[36:68])
+	payload := b[68:]
+	sum := sha256.Sum256(payload)
+	if verify && sum != want {
+		return nil, fmt.Errorf("surface: payload hash mismatch (corrupt or truncated surface)")
+	}
+
+	r := &reader{b: payload}
+	nsec, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("surface: section count: %w", err)
+	}
+	if nsec > maxSections {
+		return nil, fmt.Errorf("surface: %d sections exceeds the format bound %d", nsec, maxSections)
+	}
+	for i := uint64(0); i < nsec; i++ {
+		name, err := r.str(maxNameLen)
+		if err != nil {
+			return nil, fmt.Errorf("surface: section %d name: %w", i, err)
+		}
+		plen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("surface: section %q length: %w", name, err)
+		}
+		body, err := r.bytes(plen)
+		if err != nil {
+			return nil, fmt.Errorf("surface: section %q: %w", name, err)
+		}
+		sr := &reader{b: body}
+		switch {
+		case name == secPoints:
+			if d.Points, err = decodePoints(sr); err != nil {
+				return nil, fmt.Errorf("surface: points section: %w", err)
+			}
+		case name == secBest:
+			if d.Best, err = decodeBest(sr); err != nil {
+				return nil, fmt.Errorf("surface: best section: %w", err)
+			}
+		case strings.HasPrefix(name, secFigurePrefix):
+			f, err := decodeFigure(sr, strings.TrimPrefix(name, secFigurePrefix))
+			if err != nil {
+				return nil, fmt.Errorf("surface: section %q: %w", name, err)
+			}
+			d.Figures = append(d.Figures, *f)
+		case strings.HasPrefix(name, secTablePrefix):
+			n, err := strconv.Atoi(strings.TrimPrefix(name, secTablePrefix))
+			if err != nil {
+				return nil, fmt.Errorf("surface: section %q: bad table number", name)
+			}
+			d.Tables = append(d.Tables, TableRecord{N: n, Text: string(body)})
+		default:
+			// Unknown section from an additive format extension: skip.
+		}
+	}
+
+	s := &Surface{
+		d:       d,
+		hash:    fmt.Sprintf("%x", sum),
+		size:    len(b),
+		figures: make(map[string]*FigureRecord, len(d.Figures)),
+		tables:  make(map[int]string, len(d.Tables)),
+	}
+	for i := range d.Figures {
+		s.figures[d.Figures[i].Key] = &d.Figures[i]
+	}
+	for _, t := range d.Tables {
+		s.tables[t.N] = t.Text
+	}
+	return s, nil
+}
+
+// reader is a bounds-checked cursor over a decode buffer. Every length it
+// is asked for is validated against the remaining input before any
+// allocation, so corrupt counts fail with an error instead of an
+// out-of-memory or a slice panic.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated or overlong varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("length %d exceeds remaining %d bytes", n, r.remaining())
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) str(max int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(max) {
+		return "", fmt.Errorf("string length %d exceeds bound %d", n, max)
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// count reads an element count and sanity-checks it against the remaining
+// bytes assuming each element occupies at least minBytes, bounding any
+// allocation by the input size.
+func (r *reader) count(minBytes int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.remaining()/minBytes) {
+		return 0, fmt.Errorf("count %d exceeds what %d remaining bytes can hold", n, r.remaining())
+	}
+	return int(n), nil
+}
+
+// floatCol delta-encodes a float64 column: each value's bit pattern is
+// written as a zigzag varint of its difference from the previous pattern.
+// Exactly invertible — the round trip reproduces every bit, including
+// negative zeros and NaN payloads.
+func appendFloatCol(b []byte, vs []float64) []byte {
+	var prev uint64
+	for _, v := range vs {
+		bits := math.Float64bits(v)
+		b = binary.AppendUvarint(b, zigzag(int64(bits-prev)))
+		prev = bits
+	}
+	return b
+}
+
+func (r *reader) floatCol(n int) ([]float64, error) {
+	if n > r.remaining() {
+		return nil, fmt.Errorf("float column of %d entries exceeds remaining %d bytes", n, r.remaining())
+	}
+	vs := make([]float64, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		u, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(unzigzag(u))
+		vs[i] = math.Float64frombits(prev)
+	}
+	return vs, nil
+}
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodePoints lays the point grid out columnar: the penalty column as
+// plain uvarints, then the ten float columns delta-encoded.
+func encodePoints(pts []PointRecord) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(pts)))
+	for _, p := range pts {
+		b = binary.AppendUvarint(b, uint64(p.PenCycles))
+	}
+	for _, col := range pointColumns(pts) {
+		b = appendFloatCol(b, col)
+	}
+	return b
+}
+
+// pointColumns projects the records onto the fixed column order of the
+// points section.
+func pointColumns(pts []PointRecord) [][]float64 {
+	cols := make([][]float64, 10)
+	for i := range cols {
+		cols[i] = make([]float64, len(pts))
+	}
+	for i, p := range pts {
+		cols[0][i] = p.TCPUNs
+		cols[1][i] = p.CPI
+		cols[2][i] = p.TPINs
+		cols[3][i] = p.Base
+		cols[4][i] = p.BranchStall
+		cols[5][i] = p.LoadStall
+		cols[6][i] = p.IMiss
+		cols[7][i] = p.DMiss
+		cols[8][i] = p.IMissRate
+		cols[9][i] = p.DMissRate
+	}
+	return cols
+}
+
+func decodePoints(r *reader) ([]PointRecord, error) {
+	// Each point occupies at least 11 bytes: one penalty varint plus one
+	// byte per float column.
+	n, err := r.count(11)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]PointRecord, n)
+	for i := range pts {
+		pen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("penalty column entry %d: %w", i, err)
+		}
+		if pen > 1<<20 {
+			return nil, fmt.Errorf("penalty %d out of range at entry %d", pen, i)
+		}
+		pts[i].PenCycles = int(pen)
+	}
+	cols := make([][]float64, 10)
+	for c := range cols {
+		col, err := r.floatCol(n)
+		if err != nil {
+			return nil, fmt.Errorf("float column %d: %w", c, err)
+		}
+		cols[c] = col
+	}
+	for i := range pts {
+		pts[i].TCPUNs = cols[0][i]
+		pts[i].CPI = cols[1][i]
+		pts[i].TPINs = cols[2][i]
+		pts[i].Base = cols[3][i]
+		pts[i].BranchStall = cols[4][i]
+		pts[i].LoadStall = cols[5][i]
+		pts[i].IMiss = cols[6][i]
+		pts[i].DMiss = cols[7][i]
+		pts[i].IMissRate = cols[8][i]
+		pts[i].DMissRate = cols[9][i]
+	}
+	return pts, nil
+}
+
+func encodeBest(best []BestRecord) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(best)))
+	for _, r := range best {
+		sym := byte(0)
+		if r.Symmetric {
+			sym = 1
+		}
+		b = append(b, r.Scheme, sym)
+		b = binary.AppendUvarint(b, uint64(r.Evaluated))
+		for _, v := range []int{r.B, r.L, r.ISizeKW, r.DSizeKW, r.PenCycles} {
+			b = binary.AppendUvarint(b, uint64(v))
+		}
+		for _, f := range []float64{r.TCPUNs, r.CPI, r.TPINs} {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	}
+	return b
+}
+
+func decodeBest(r *reader) ([]BestRecord, error) {
+	// scheme + symmetric + 6 varints (>=1 byte each) + 3 fixed floats.
+	n, err := r.count(2 + 6 + 24)
+	if err != nil {
+		return nil, err
+	}
+	best := make([]BestRecord, n)
+	for i := range best {
+		hdr, err := r.bytes(2)
+		if err != nil {
+			return nil, err
+		}
+		if hdr[1] > 1 {
+			return nil, fmt.Errorf("entry %d: bad symmetric flag %d", i, hdr[1])
+		}
+		best[i].Scheme = hdr[0]
+		best[i].Symmetric = hdr[1] == 1
+		ints := make([]uint64, 6)
+		for j := range ints {
+			if ints[j], err = r.uvarint(); err != nil {
+				return nil, fmt.Errorf("entry %d: %w", i, err)
+			}
+			if ints[j] > 1<<30 {
+				return nil, fmt.Errorf("entry %d: field %d out of range", i, j)
+			}
+		}
+		best[i].Evaluated = int(ints[0])
+		best[i].B, best[i].L = int(ints[1]), int(ints[2])
+		best[i].ISizeKW, best[i].DSizeKW = int(ints[3]), int(ints[4])
+		best[i].PenCycles = int(ints[5])
+		fb, err := r.bytes(24)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d floats: %w", i, err)
+		}
+		best[i].TCPUNs = math.Float64frombits(binary.LittleEndian.Uint64(fb[0:8]))
+		best[i].CPI = math.Float64frombits(binary.LittleEndian.Uint64(fb[8:16]))
+		best[i].TPINs = math.Float64frombits(binary.LittleEndian.Uint64(fb[16:24]))
+	}
+	return best, nil
+}
+
+func encodeFigure(f *FigureRecord) []byte {
+	var b []byte
+	for _, s := range []string{f.Title, f.XLabel, f.YLabel} {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(f.X)))
+	b = appendFloatCol(b, f.X)
+	b = binary.AppendUvarint(b, uint64(len(f.Labels)))
+	for i, lab := range f.Labels {
+		b = binary.AppendUvarint(b, uint64(len(lab)))
+		b = append(b, lab...)
+		b = appendFloatCol(b, f.Y[i])
+	}
+	return b
+}
+
+func decodeFigure(r *reader, key string) (*FigureRecord, error) {
+	f := &FigureRecord{Key: key}
+	var err error
+	if f.Title, err = r.str(maxStrLen); err != nil {
+		return nil, fmt.Errorf("title: %w", err)
+	}
+	if f.XLabel, err = r.str(maxStrLen); err != nil {
+		return nil, fmt.Errorf("x label: %w", err)
+	}
+	if f.YLabel, err = r.str(maxStrLen); err != nil {
+		return nil, fmt.Errorf("y label: %w", err)
+	}
+	nx, err := r.count(1)
+	if err != nil {
+		return nil, fmt.Errorf("x count: %w", err)
+	}
+	if f.X, err = r.floatCol(nx); err != nil {
+		return nil, fmt.Errorf("x column: %w", err)
+	}
+	nl, err := r.count(1)
+	if err != nil {
+		return nil, fmt.Errorf("label count: %w", err)
+	}
+	f.Labels = make([]string, 0, nl)
+	f.Y = make([][]float64, 0, nl)
+	for i := 0; i < nl; i++ {
+		lab, err := r.str(maxStrLen)
+		if err != nil {
+			return nil, fmt.Errorf("label %d: %w", i, err)
+		}
+		ys, err := r.floatCol(nx)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		f.Labels = append(f.Labels, lab)
+		f.Y = append(f.Y, ys)
+	}
+	return f, nil
+}

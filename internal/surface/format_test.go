@@ -1,0 +1,131 @@
+package surface
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampleData builds a small synthetic surface exercising every section
+// kind, including float values the delta encoding must reproduce exactly
+// (negative zero, denormals, huge magnitudes).
+func sampleData() *Data {
+	d := &Data{ParamsHash: sha256.Sum256([]byte("params"))}
+	d.Points = []PointRecord{
+		{PenCycles: 10, TCPUNs: 3.5, CPI: 1.25, TPINs: 4.375, Base: 1, BranchStall: 0.1, LoadStall: 0.05, IMiss: 0.07, DMiss: 0.03, IMissRate: 0.01, DMissRate: 0.02},
+		{PenCycles: 2, TCPUNs: math.Copysign(0, -1), CPI: 5e-324, TPINs: 1e308, Base: -1.5, BranchStall: 0, LoadStall: 0, IMiss: 0, DMiss: 0, IMissRate: 1, DMissRate: 0},
+		{PenCycles: 18, TCPUNs: 7.25, CPI: 1.2500000000000002, TPINs: 9.0625, Base: 1.1, BranchStall: 0.2, LoadStall: 0.1, IMiss: 0.02, DMiss: 0.08, IMissRate: 0.003, DMissRate: 0.004},
+	}
+	d.Best = []BestRecord{
+		{Scheme: 0, Symmetric: false, Evaluated: 576, B: 2, L: 2, ISizeKW: 8, DSizeKW: 8, PenCycles: 10, TCPUNs: 3.5, CPI: 1.3, TPINs: 4.55},
+		{Scheme: 1, Symmetric: true, Evaluated: 24, B: 1, L: 1, ISizeKW: 16, DSizeKW: 16, PenCycles: 9, TCPUNs: 3.9, CPI: 1.2, TPINs: 4.68},
+	}
+	// Keyed in sorted order: Encode writes figures sorted by key, so the
+	// decoded slice comes back in this order.
+	d.Figures = []FigureRecord{
+		{Key: "11?penalty=10", Title: "t11", XLabel: "x", YLabel: "y", X: []float64{1}, Labels: []string{"l=1"}, Y: [][]float64{{0.5}}},
+		{Key: "12", Title: "t", XLabel: "x", YLabel: "y", X: []float64{2, 4, 8}, Labels: []string{"a", "b"}, Y: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+	}
+	d.Tables = []TableRecord{{N: 1, Text: "table one\n"}, {N: 6, Text: "table six\n"}}
+	return d
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := sampleData()
+	b, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ParamsHash() != d.ParamsHash {
+		t.Error("params hash did not round-trip")
+	}
+	if !reflect.DeepEqual(s.d.Points, d.Points) {
+		t.Errorf("points did not round-trip:\n got %+v\nwant %+v", s.d.Points, d.Points)
+	}
+	if !reflect.DeepEqual(s.d.Best, d.Best) {
+		t.Errorf("best did not round-trip:\n got %+v\nwant %+v", s.d.Best, d.Best)
+	}
+	if !reflect.DeepEqual(s.d.Figures, d.Figures) {
+		t.Errorf("figures did not round-trip:\n got %+v\nwant %+v", s.d.Figures, d.Figures)
+	}
+	if got, ok := s.Table(6); !ok || got != "table six\n" {
+		t.Errorf("Table(6) = %q, %v", got, ok)
+	}
+	if _, ok := s.Figure("11?penalty=10"); !ok {
+		t.Error("Figure lookup missed a baked key")
+	}
+	if s.Size() != len(b) {
+		t.Errorf("Size() = %d, want %d", s.Size(), len(b))
+	}
+
+	// Determinism: re-encoding the decoded content reproduces the bytes
+	// (and therefore the hash).
+	b2, err := Encode(s.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("re-encoding is not byte-identical")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b, err := Encode(sampleData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"empty":            func(b []byte) []byte { return nil },
+		"short header":     func(b []byte) []byte { return b[:10] },
+		"bad magic":        func(b []byte) []byte { b[0] = 'X'; return b },
+		"truncated body":   func(b []byte) []byte { return b[:len(b)-5] },
+		"flipped payload":  func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b },
+		"flipped sections": func(b []byte) []byte { b[68] ^= 0x7F; return b },
+	}
+	for name, corrupt := range cases {
+		cp := append([]byte(nil), b...)
+		if _, err := Decode(corrupt(cp)); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+// TestDecodeSkipsUnknownSections pins the additive-evolution rule: a
+// PSF1 reader must ignore sections it does not know instead of erroring,
+// so new sections never force a magic bump.
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 2)
+	// An unknown section first...
+	payload = binary.AppendUvarint(payload, uint64(len("wavelets")))
+	payload = append(payload, "wavelets"...)
+	payload = binary.AppendUvarint(payload, 3)
+	payload = append(payload, 1, 2, 3)
+	// ...then a known one.
+	tab := []byte("hello\n")
+	name := "table:4"
+	payload = binary.AppendUvarint(payload, uint64(len(name)))
+	payload = append(payload, name...)
+	payload = binary.AppendUvarint(payload, uint64(len(tab)))
+	payload = append(payload, tab...)
+
+	sum := sha256.Sum256(payload)
+	b := append([]byte("PSF1"), make([]byte, 32)...)
+	b = append(b, sum[:]...)
+	b = append(b, payload...)
+
+	s, err := Decode(b)
+	if err != nil {
+		t.Fatalf("unknown section was not skipped: %v", err)
+	}
+	if got, ok := s.Table(4); !ok || got != "hello\n" {
+		t.Fatalf("Table(4) = %q, %v", got, ok)
+	}
+}

@@ -1,0 +1,101 @@
+package surface
+
+import (
+	"container/list"
+	"sync"
+
+	"pipecache/internal/fault"
+	"pipecache/internal/obs"
+)
+
+// ptOverlayBackfill injects faults into the overlay write path: the moment
+// a live-computed result is about to become a cached artifact. The PR-5
+// memo-poisoning lesson applies here too — a fault during backfill must
+// lose the backfill, never corrupt what later requests are served.
+var ptOverlayBackfill = fault.NewPoint("surface.overlay.backfill")
+
+// Overlay is the in-memory layer above a baked surface: responses for
+// points the surface does not cover (non-default L2 time, figures at
+// un-baked penalties) are computed live once and backfilled here, so the
+// second identical request is a lookup again. It is a bounded LRU keyed by
+// the server's content-addressed request key; entries are immutable after
+// insert.
+type Overlay struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	reg     *obs.Registry
+}
+
+type overlayEntry struct {
+	key  string
+	body []byte
+}
+
+// DefaultOverlayEntries bounds the overlay when the caller passes 0.
+const DefaultOverlayEntries = 1024
+
+// NewOverlay returns an overlay bounded to max entries (0 means
+// DefaultOverlayEntries). reg may be nil.
+func NewOverlay(max int, reg *obs.Registry) *Overlay {
+	if max <= 0 {
+		max = DefaultOverlayEntries
+	}
+	return &Overlay{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		reg:     reg,
+	}
+}
+
+// Get returns the backfilled body for key, if present.
+func (o *Overlay) Get(key string) ([]byte, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	el, ok := o.entries[key]
+	if !ok {
+		return nil, false
+	}
+	o.order.MoveToFront(el)
+	o.reg.Counter("surface.overlay_hits").Inc()
+	return el.Value.(*overlayEntry).body, true
+}
+
+// Backfill stores a successfully computed body under key. The body is
+// copied, so the caller's buffer stays free. A fault injected at the
+// backfill seam drops the write — the overlay never holds a value that was
+// not fully and successfully produced — and the error is reported to the
+// caller for accounting only; serving has already succeeded by then.
+func (o *Overlay) Backfill(key string, body []byte) error {
+	if err := ptOverlayBackfill.Inject(); err != nil {
+		o.reg.Counter("surface.backfill_errors").Inc()
+		return err
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if el, ok := o.entries[key]; ok {
+		// Identical requests compute identical bodies; keep the first.
+		o.order.MoveToFront(el)
+		return nil
+	}
+	o.entries[key] = o.order.PushFront(&overlayEntry{key: key, body: cp})
+	if o.order.Len() > o.max {
+		last := o.order.Back()
+		o.order.Remove(last)
+		delete(o.entries, last.Value.(*overlayEntry).key)
+		o.reg.Counter("surface.overlay_evictions").Inc()
+	}
+	o.reg.Counter("surface.backfills").Inc()
+	return nil
+}
+
+// Len returns the number of resident entries.
+func (o *Overlay) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.order.Len()
+}

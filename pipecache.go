@@ -34,6 +34,7 @@
 package pipecache
 
 import (
+	"context"
 	"io"
 
 	"pipecache/internal/btb"
@@ -47,6 +48,7 @@ import (
 	"pipecache/internal/program"
 	"pipecache/internal/sched"
 	"pipecache/internal/server"
+	"pipecache/internal/surface"
 	"pipecache/internal/timing"
 	"pipecache/internal/trace"
 )
@@ -340,3 +342,29 @@ func NewServer(lab *Lab, cfg ServerConfig) (*Server, error) { return server.New(
 
 // VersionInfo reads the running binary's build metadata.
 func VersionInfo() BuildInfo { return server.VersionInfo() }
+
+// Baked design-space surfaces (internal/surface).
+type (
+	// Surface is a decoded PSF1 design-space artifact pinned in memory; a
+	// Server configured with one answers /v1/* as O(1) lookups.
+	Surface = surface.Surface
+	// SurfaceData is the decoded (or to-be-encoded) content of a surface:
+	// what BakeSurface produces and EncodeSurface serializes.
+	SurfaceData = surface.Data
+)
+
+// BakeSurface evaluates lab's whole design space — every point, the four
+// optimizations, the figures, and the tables — into a SurfaceData ready for
+// EncodeSurface. The bake is deterministic at any Params.SweepWorkers.
+func BakeSurface(ctx context.Context, lab *Lab) (*SurfaceData, error) {
+	return surface.Bake(ctx, lab)
+}
+
+// EncodeSurface serializes a baked surface into the PSF1 byte format.
+func EncodeSurface(d *SurfaceData) ([]byte, error) { return surface.Encode(d) }
+
+// DecodeSurface parses and validates a PSF1 surface.
+func DecodeSurface(b []byte) (*Surface, error) { return surface.Decode(b) }
+
+// LoadSurface reads and decodes a surface file.
+func LoadSurface(path string) (*Surface, error) { return surface.Load(path) }
