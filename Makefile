@@ -86,7 +86,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos ./internal/surface
+	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos ./internal/surface ./internal/cluster
 
 clean:
 	$(GO) clean ./...

@@ -14,7 +14,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"pipecache"
 )
@@ -239,6 +241,82 @@ func ablationSuite(insts, budget int64) (func(b *testing.B) int64, error) {
 	}, nil
 }
 
+// coordinatorBench stands up `shards` backend servers over fresh labs plus a
+// coordinator fanning merged reductions across them. Each iteration issues a
+// /v1/best with a fresh l2_time_ns, which misses every result cache on the
+// path; the simulation passes themselves are l2-independent and prewarmed
+// out of the loop, so the measured op is the distributed sub-range sweep —
+// fan-out, per-point recompute on each shard, canonical-order merge. The
+// in-process shards share this host's GOMAXPROCS: with cores to spare the
+// 1/2/4 ladder shows the sweep wall-time splitting across the fleet, and at
+// GOMAXPROCS=1 it isolates the coordinator's pure fan-out overhead instead
+// (read the ladder against the report's gomaxprocs field).
+func coordinatorBench(insts int64, shards int) (func(b *testing.B) int64, error) {
+	var specs []pipecache.Spec
+	for _, name := range []string{"gcc", "yacc"} {
+		s, ok := pipecache.LookupBenchmark(name)
+		if !ok {
+			return nil, fmt.Errorf("benchmark %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := pipecache.BuildSuite(specs)
+	if err != nil {
+		return nil, err
+	}
+	p := pipecache.DefaultParams()
+	p.Insts = insts
+	var urls []string
+	for i := 0; i < shards; i++ {
+		lab, err := pipecache.NewLab(suite, p)
+		if err != nil {
+			return nil, err
+		}
+		lab.SetObs(pipecache.NewRegistry())
+		srv, err := pipecache.NewServer(lab, pipecache.ServerConfig{AccessLog: io.Discard})
+		if err != nil {
+			return nil, err
+		}
+		urls = append(urls, httptest.NewServer(srv.Handler()).URL)
+	}
+	coord, err := pipecache.NewCoordinator(pipecache.CoordinatorConfig{
+		Shards:    urls,
+		Params:    p,
+		AccessLog: io.Discard,
+		// A hedge firing mid-iteration would double a shard's work and
+		// measure the policy, not the fan-out.
+		HedgeAfter: time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := coord.Handler()
+	post := func(body string) (int, string) {
+		req := httptest.NewRequest("POST", "/v1/best", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	// The first full-space fan-out warms every (b, scheme) pass each shard's
+	// deterministic sub-range needs.
+	if code, body := post(`{"loads":"dynamic","l2_time_ns":34.5}`); code != 200 {
+		return nil, fmt.Errorf("coordinator warmup (%d shards): status %d: %s", shards, code, body)
+	}
+	// seq outlives the closure so re-runs at larger b.N never repeat an
+	// l2_time_ns and sneak a coordinator cache hit into the timings.
+	var seq int64
+	return func(b *testing.B) int64 {
+		for i := 0; i < b.N; i++ {
+			seq++
+			body := fmt.Sprintf(`{"loads":"dynamic","l2_time_ns":%.6f}`, 35+float64(seq)*1e-6)
+			if code, rb := post(body); code != 200 {
+				b.Fatalf("status %d: %s", code, rb)
+			}
+		}
+		return 0
+	}, nil
+}
+
 // run measures one benchmark, deriving insts/s from the executed count
 // when the body reports one.
 func run(name string, body func(b *testing.B) int64) benchRecord {
@@ -374,6 +452,27 @@ func main() {
 		}
 		return 0
 	}))
+
+	var fanoutBase benchRecord
+	for _, shards := range []int{1, 2, 4} {
+		fn, err := coordinatorBench(*insts, shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rec := run(fmt.Sprintf("BenchmarkCoordinatorFanout/shards=%d", shards), fn)
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		if shards == 1 {
+			fanoutBase = rec
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, speedupRecord{
+			Name:     fmt.Sprintf("coordinator_fanout_%d_shards_vs_1", shards),
+			Baseline: fanoutBase.Name,
+			Against:  rec.Name,
+			Speedup:  fanoutBase.NsPerOp / rec.NsPerOp,
+		})
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

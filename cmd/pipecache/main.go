@@ -11,6 +11,9 @@
 //	pipecache simulate [flags]   evaluate one design point
 //	pipecache serve    [flags]   serve the design space over HTTP/JSON with
 //	                             result caching and live metrics
+//	pipecache coordinate [flags] front a fleet of serve backends: consistent-
+//	                             hash routing, sub-range fan-out, and merged
+//	                             reductions byte-identical to a single node
 //	pipecache bake     [flags]   precompute the design-space surface into a
 //	                             PSF1 artifact for O(1) serving
 //	pipecache tracegen [flags]   write a multiprogrammed reference trace
@@ -56,6 +59,8 @@ func main() {
 		err = runSimulate(args)
 	case "serve":
 		err = runServe(args)
+	case "coordinate":
+		err = runCoordinate(args)
 	case "bake":
 		err = runBake(args)
 	case "version":
@@ -93,6 +98,8 @@ commands:
   simulate   evaluate one design point
   serve      HTTP/JSON design-space service (caching, backpressure,
              /metrics, graceful drain)
+  coordinate sharded coordinator tier: consistent-hash fan-out over serve
+             backends with bit-identical merged reductions
   bake       precompute the design-space surface into a PSF1 artifact
              for O(1) serving (pipecache serve -surface)
   version    print the binary's build identity

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pipecache/internal/server"
+)
+
+// span is one contiguous sub-range [lo, hi) of the canonical enumeration.
+type span struct {
+	lo, hi int
+}
+
+// rangeJob assigns one span to one shard for a round of the fan-out.
+type rangeJob struct {
+	sp    span
+	owner int // index into the round's healthy-shard slice
+}
+
+// partitionSpans splits each missing span contiguously across k shards:
+// shard j of the round gets the j-th chunk, sizes as even as they divide.
+// The function is pure — partitioning depends only on the spans and the
+// healthy-shard count — which is what makes a re-fan-out after a shard loss
+// deterministic: a retried round with the same survivors computes the same
+// assignment every time, on every coordinator.
+func partitionSpans(missing []span, k int) []rangeJob {
+	var jobs []rangeJob
+	for _, sp := range missing {
+		m := sp.hi - sp.lo
+		n := k
+		if n > m {
+			n = m
+		}
+		base, rem := m/n, m%n
+		at := sp.lo
+		for j := 0; j < n; j++ {
+			sz := base
+			if j < rem {
+				sz++
+			}
+			jobs = append(jobs, rangeJob{sp: span{at, at + sz}, owner: j})
+			at += sz
+		}
+	}
+	return jobs
+}
+
+// fanoutPoints evaluates [lo, hi) of the canonical enumeration across the
+// fleet and returns the hi-lo points in enumeration order — the merged
+// equivalent of one backend's /v1/sweep-range answer.
+//
+// Each round partitions the still-missing spans contiguously across the
+// healthy shards (index order) and issues the legs concurrently, each leg
+// hedging onto the next healthy shard if slow. A leg lost to a transport
+// failure drains its shard and its span re-enters the next round, where the
+// partition over the survivors re-fans it out; the loop converges because a
+// failed round shrinks the healthy set and a fleet-sized round count bounds
+// it. Shard backpressure short-circuits: one 429 makes the whole fan-out a
+// 429 carrying the maximum Retry-After observed this round.
+func (c *Coordinator) fanoutPoints(ctx context.Context, l2TimeNs float64, lo, hi int) ([]server.RangePoint, error) {
+	out := make([]server.RangePoint, hi-lo)
+	missing := []span{{lo, hi}}
+	for round := 0; len(missing) > 0; round++ {
+		if round > len(c.shards)+1 {
+			return nil, fmt.Errorf("cluster: sweep fan-out did not converge after %d rounds", round)
+		}
+		if round > 0 {
+			c.reg.Counter("cluster.refanout").Inc()
+		}
+		healthy := c.healthyShards()
+		if len(healthy) == 0 {
+			// Last resort before failing: one synchronous probe pass picks
+			// up any shard that recovered since it was drained.
+			c.ProbeAll(ctx)
+			if healthy = c.healthyShards(); len(healthy) == 0 {
+				return nil, errNoShards
+			}
+		}
+		jobs := partitionSpans(missing, len(healthy))
+		type legResult struct {
+			job rangeJob
+			res *shardResult
+			err error
+		}
+		results := make([]legResult, len(jobs))
+		var wg sync.WaitGroup
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j rangeJob) {
+				defer wg.Done()
+				res, err := c.rangeLeg(ctx, healthy, j, l2TimeNs)
+				results[i] = legResult{job: j, res: res, err: err}
+			}(i, j)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var next []span
+		var retryAfter int
+		backpressured := false
+		for _, lr := range results {
+			switch {
+			case lr.err != nil:
+				next = append(next, lr.job.sp)
+			case lr.res.status == http.StatusTooManyRequests:
+				backpressured = true
+				if lr.res.retryAfter > retryAfter {
+					retryAfter = lr.res.retryAfter
+				}
+			case lr.res.status != http.StatusOK:
+				return nil, fmt.Errorf("shard answered %d for range [%d, %d): %s",
+					lr.res.status, lr.job.sp.lo, lr.job.sp.hi, trimBody(lr.res.body))
+			default:
+				var sr server.SweepRangeResponse
+				if err := json.Unmarshal(lr.res.body, &sr); err != nil {
+					return nil, fmt.Errorf("shard range [%d, %d) body: %w", lr.job.sp.lo, lr.job.sp.hi, err)
+				}
+				if len(sr.Points) != lr.job.sp.hi-lr.job.sp.lo {
+					return nil, fmt.Errorf("shard range [%d, %d) returned %d points",
+						lr.job.sp.lo, lr.job.sp.hi, len(sr.Points))
+				}
+				copy(out[lr.job.sp.lo-lo:], sr.Points)
+			}
+		}
+		if backpressured {
+			return nil, &backpressureError{retryAfter: clampRetryAfter(retryAfter)}
+		}
+		missing = next
+	}
+	return out, nil
+}
+
+// rangeLeg runs one sub-range request on its owning shard, hedging onto the
+// later shards of the round in index order. No failover on error: the round
+// loop's deterministic re-partition is the recovery path for a lost leg.
+func (c *Coordinator) rangeLeg(ctx context.Context, healthy []*Shard, j rangeJob, l2TimeNs float64) (*shardResult, error) {
+	body, err := json.Marshal(server.SweepRangeRequest{Lo: j.sp.lo, Hi: j.sp.hi, L2TimeNs: l2TimeNs})
+	if err != nil {
+		return nil, err
+	}
+	seq := make([]*Shard, 0, len(healthy))
+	for off := 0; off < len(healthy); off++ {
+		seq = append(seq, healthy[(j.owner+off)%len(healthy)])
+	}
+	return c.raceShards(ctx, seq, false, func(ctx context.Context, s *Shard) (*shardResult, error) {
+		return c.doShard(ctx, ptShardRange, s, http.MethodPost, "/v1/sweep-range", body)
+	})
+}
+
+// trimBody bounds an upstream error body for inclusion in an error message.
+func trimBody(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}

@@ -149,12 +149,29 @@ type PointEval struct {
 // cheap per-point arithmetic regardless of worker count, and the output is
 // bit-identical at any Params.SweepWorkers setting.
 func (l *Lab) EvalDesignSpaceContext(ctx context.Context, l2TimeNs float64) ([]PointEval, error) {
+	return l.EvalDesignRangeContext(ctx, l2TimeNs, 0, len(DesignSpace(l.P)))
+}
+
+// EvalDesignRangeContext evaluates the contiguous sub-range [lo, hi) of the
+// canonical enumeration at the given miss-service time, returning hi-lo
+// results in enumeration order. It is the backend entry point of the
+// coordinator tier's fan-out (/v1/sweep-range): because each shard's output
+// is a slice of the same canonical order the full surface uses, a
+// coordinator that concatenates sub-range results in range order
+// reconstructs exactly the single-node sweep, point for point and bit for
+// bit. The per-point math is EvalPointContext — the one definition the
+// single-node server and the surface baker share — so sharded and unsharded
+// evaluations cannot drift.
+func (l *Lab) EvalDesignRangeContext(ctx context.Context, l2TimeNs float64, lo, hi int) ([]PointEval, error) {
 	pts := DesignSpace(l.P)
-	out := make([]PointEval, len(pts))
-	l.progress.StartPhase("design-space surface", int64(len(pts)))
+	if lo < 0 || hi > len(pts) || lo > hi {
+		return nil, fmt.Errorf("core: design range [%d, %d) outside the %d-point space", lo, hi, len(pts))
+	}
+	out := make([]PointEval, hi-lo)
+	l.progress.StartPhase("design-space range", int64(hi-lo))
 	defer l.progress.Finish()
-	err := l.forEach(ctx, len(pts), func(ctx context.Context, i int) error {
-		dp := pts[i]
+	err := l.forEach(ctx, hi-lo, func(ctx context.Context, i int) error {
+		dp := pts[lo+i]
 		tp, bd, err := l.EvalPointContext(ctx, dp.B, dp.L, dp.ISizeKW, dp.DSizeKW, dp.Scheme, l2TimeNs)
 		if err != nil {
 			return err

@@ -48,7 +48,7 @@ func FuzzDesignRequest(f *testing.F) {
 			t.Fatalf("normalize is not idempotent: %+v -> %+v", req, again)
 		}
 		// ...with a stable, well-formed content address.
-		k1, k2 := requestKey("simulate", req), requestKey("simulate", req)
+		k1, k2 := RequestKey("simulate", req), RequestKey("simulate", req)
 		if k1 != k2 || len(k1) != 64 {
 			t.Fatalf("unstable or malformed request key: %q vs %q", k1, k2)
 		}

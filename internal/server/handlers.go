@@ -15,6 +15,7 @@ import (
 func (s *Server) routes() {
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/best", s.instrument("best", s.handleBest))
+	s.mux.Handle("POST /v1/sweep-range", s.instrument("sweep_range", s.handleSweepRange))
 	s.mux.Handle("GET /v1/figures/{n}", s.instrument("figures", s.handleFigure))
 	s.mux.Handle("GET /v1/tables/{n}", s.instrument("tables", s.handleTable))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -66,6 +67,22 @@ type BestResponse struct {
 	Request   BestRequest `json:"request"`
 	Best      SimPoint    `json:"best"`
 	Evaluated int         `json:"evaluated"`
+}
+
+// RangePoint is one evaluated point of a /v1/sweep-range response: the
+// design point plus its CPI breakdown.
+type RangePoint struct {
+	Point     SimPoint     `json:"point"`
+	Breakdown CPIBreakdown `json:"breakdown"`
+}
+
+// SweepRangeResponse is the body of POST /v1/sweep-range: the evaluated
+// points of one contiguous sub-range of the canonical enumeration, in
+// enumeration order. Concatenating the responses of a partition of [0, N)
+// in range order reconstructs the full single-node sweep exactly.
+type SweepRangeResponse struct {
+	Request SweepRangeRequest `json:"request"`
+	Points  []RangePoint      `json:"points"`
 }
 
 // FigureJSON is the body of GET /v1/figures/{n}: one family of curves.
@@ -192,7 +209,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad design request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.serveCached(w, r, requestKey("simulate", req),
+	s.serveCached(w, r, RequestKey("simulate", req),
 		func() (any, bool) { return s.bakedSimulate(req) },
 		func(ctx context.Context) (any, error) {
 			return s.simulate(ctx, req)
@@ -230,7 +247,7 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad optimization request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.serveCached(w, r, requestKey("best", req),
+	s.serveCached(w, r, RequestKey("best", req),
 		func() (any, bool) { return s.bakedBest(req) },
 		func(ctx context.Context) (any, error) {
 			scheme, err := parseLoadScheme(req.Loads)
@@ -242,6 +259,42 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return &BestResponse{Request: req, Best: pointJSON(opt.Best), Evaluated: opt.Evaluated}, nil
+		})
+}
+
+// handleSweepRange serves the coordinator tier's fan-out unit: evaluate one
+// contiguous sub-range of the canonical design-space enumeration. It rides
+// the same serving tiers as every other endpoint — baked surface, overlay,
+// result cache, live compute — so a shard that already answered a range
+// serves the repeat from cache, which is what the coordinator's
+// consistent-hash routing is designed to exploit.
+func (s *Server) handleSweepRange(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeSweepRangeRequest(r.Body, s.lab.P)
+	if err != nil {
+		http.Error(w, "bad sweep-range request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, RequestKey("sweep-range", req),
+		func() (any, bool) { return s.bakedSweepRange(req) },
+		func(ctx context.Context) (any, error) {
+			evals, err := s.lab.EvalDesignRangeContext(ctx, req.L2TimeNs, req.Lo, req.Hi)
+			if err != nil {
+				return nil, err
+			}
+			pts := make([]RangePoint, len(evals))
+			for i, ev := range evals {
+				pts[i] = RangePoint{
+					Point: pointJSON(ev.Point),
+					Breakdown: CPIBreakdown{
+						Base:        ev.Breakdown.Base,
+						BranchStall: ev.Breakdown.BranchStall,
+						LoadStall:   ev.Breakdown.LoadStall,
+						IMiss:       ev.Breakdown.IMiss,
+						DMiss:       ev.Breakdown.DMiss,
+					},
+				}
+			}
+			return &SweepRangeResponse{Request: req, Points: pts}, nil
 		})
 }
 
@@ -286,7 +339,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown figure (serving 11, 12, 13)", http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, r, requestKey("figures", map[string]any{"n": n, "penalty": penalty}),
+	s.serveCached(w, r, RequestKey("figures", map[string]any{"n": n, "penalty": penalty}),
 		func() (any, bool) { return s.bakedFigure(n, penalty) },
 		compute)
 }
@@ -297,7 +350,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown table (serving 1-6)", http.StatusNotFound)
 		return
 	}
-	s.serveCached(w, r, requestKey("tables", map[string]int{"n": n}),
+	s.serveCached(w, r, RequestKey("tables", map[string]int{"n": n}),
 		func() (any, bool) { return s.bakedTable(n) },
 		func(ctx context.Context) (any, error) {
 			var v fmt.Stringer

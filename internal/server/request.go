@@ -146,11 +146,52 @@ func inBank(size int, bank []int) bool {
 	return false
 }
 
-// requestKey derives the content address of one request: the endpoint name
+// SweepRangeRequest is the body of POST /v1/sweep-range: the contiguous
+// sub-range [lo, hi) of the canonical design-space enumeration
+// (core.DesignSpace order), evaluated at one miss-service time. It is the
+// internal fan-out endpoint of the coordinator tier: a coordinator
+// partitions [0, N) across backend shards and concatenates the responses in
+// range order to reconstruct the single-node sweep bit for bit.
+type SweepRangeRequest struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
+	// lab's default.
+	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+}
+
+// DecodeSweepRangeRequest parses and validates a /v1/sweep-range body
+// against the lab's design space, returning the normalized request.
+func DecodeSweepRangeRequest(r io.Reader, p core.Params) (SweepRangeRequest, error) {
+	var req SweepRangeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return req, err
+	}
+	return req.normalize(p)
+}
+
+func (q SweepRangeRequest) normalize(p core.Params) (SweepRangeRequest, error) {
+	if q.L2TimeNs == 0 {
+		q.L2TimeNs = p.L2TimeNs
+	}
+	if q.L2TimeNs < 0 || q.L2TimeNs > 1e6 {
+		return q, fmt.Errorf("l2_time_ns %g out of range", q.L2TimeNs)
+	}
+	n := len(core.DesignSpace(p))
+	if q.Lo < 0 || q.Hi > n || q.Lo >= q.Hi {
+		return q, fmt.Errorf("range [%d, %d) outside the %d-point design space", q.Lo, q.Hi, n)
+	}
+	return q, nil
+}
+
+// RequestKey derives the content address of one request: the endpoint name
 // plus the canonical JSON of the normalized request, hashed with SHA-256.
 // encoding/json marshals struct fields in declaration order, so the
-// marshaled form of a normalized request is canonical by construction.
-func requestKey(endpoint string, v any) string {
+// marshaled form of a normalized request is canonical by construction. The
+// coordinator tier (internal/cluster) derives the same key from the same
+// normalized request, so its consistent-hash routing keeps each shard's
+// result cache hot on exactly the keys that shard already answered.
+func RequestKey(endpoint string, v any) string {
 	b, err := json.Marshal(v)
 	if err != nil {
 		// Requests are plain structs of scalars; marshaling cannot fail.

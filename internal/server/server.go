@@ -107,6 +107,9 @@ type Server struct {
 	build   BuildInfo
 	surface *surface.Surface // nil when serving live-only
 	overlay *surface.Overlay // nil without a surface
+	// space is the lab's canonical design-space enumeration, computed once
+	// so the sweep-range paths do not re-enumerate per request.
+	space []core.DesignPoint
 }
 
 // New wraps lab with the HTTP service. The server shares the lab's metric
@@ -132,6 +135,7 @@ func New(lab *core.Lab, cfg Config) (*Server, error) {
 		log:   log.New(cfg.AccessLog, "", log.LstdFlags|log.Lmicroseconds),
 		start: time.Now(),
 		build: VersionInfo(),
+		space: core.DesignSpace(lab.P),
 	}
 	if cfg.Surface != nil {
 		if err := validateSurface(cfg.Surface, lab); err != nil {

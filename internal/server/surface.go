@@ -76,6 +76,37 @@ func (s *Server) bakedBest(req BestRequest) (any, bool) {
 	}, true
 }
 
+// bakedSweepRange answers /v1/sweep-range from the surface: the records
+// are stored by DesignIndex in exactly the canonical order the range
+// addresses, so the answer is a sequential read. The point math behind the
+// stored records is core.EvalPointContext — the same definition the live
+// range sweep uses — so the two paths marshal byte-identical bodies.
+func (s *Server) bakedSweepRange(req SweepRangeRequest) (any, bool) {
+	if req.L2TimeNs != s.lab.P.L2TimeNs {
+		return nil, false
+	}
+	pts := make([]RangePoint, 0, req.Hi-req.Lo)
+	for idx := req.Lo; idx < req.Hi; idx++ {
+		rec, ok := s.surface.Point(idx)
+		if !ok {
+			return nil, false
+		}
+		dp := s.space[idx]
+		pts = append(pts, RangePoint{
+			Point: SimPoint{
+				B: dp.B, L: dp.L, ISizeKW: dp.ISizeKW, DSizeKW: dp.DSizeKW,
+				Loads: dp.Scheme.String(), TCPUNs: rec.TCPUNs,
+				PenaltyCycles: rec.PenCycles, CPI: rec.CPI, TPINs: rec.TPINs,
+			},
+			Breakdown: CPIBreakdown{
+				Base: rec.Base, BranchStall: rec.BranchStall, LoadStall: rec.LoadStall,
+				IMiss: rec.IMiss, DMiss: rec.DMiss,
+			},
+		})
+	}
+	return &SweepRangeResponse{Request: req, Points: pts}, true
+}
+
 // bakedFigure answers /v1/figures/{n} from the surface.
 func (s *Server) bakedFigure(n string, penalty int) (any, bool) {
 	f, ok := s.surface.Figure(surface.FigureKey(n, penalty))
@@ -97,18 +128,20 @@ func (s *Server) bakedTable(n int) (any, bool) {
 	return TableResponse{Table: n, Text: text}, true
 }
 
-// strongETag derives the strong entity tag of a response body: the
+// StrongETag derives the strong entity tag of a response body: the
 // truncated hex SHA-256 of the exact bytes served. Baked and live paths
 // produce byte-identical bodies, so their tags match by construction, and
 // the tag survives server restarts and bake/no-bake deployments alike.
-func strongETag(body []byte) string {
+// The coordinator tier derives its tags with the same function, so a
+// merged body that matches a single-node body carries the same ETag.
+func StrongETag(body []byte) string {
 	sum := sha256.Sum256(body)
 	return `"` + hex.EncodeToString(sum[:])[:32] + `"`
 }
 
-// etagMatch implements If-None-Match: a wildcard or any listed tag equal
+// ETagMatch implements If-None-Match: a wildcard or any listed tag equal
 // to etag revalidates.
-func etagMatch(header, etag string) bool {
+func ETagMatch(header, etag string) bool {
 	if strings.TrimSpace(header) == "*" {
 		return true
 	}
@@ -125,7 +158,7 @@ func etagMatch(header, etag string) bool {
 // when one is loaded. The trailing newline is part of the served bytes
 // and therefore of the differential byte-identity contract.
 func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, body []byte, provenance string) {
-	etag := strongETag(body)
+	etag := StrongETag(body)
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("ETag", etag)
@@ -133,7 +166,7 @@ func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, body []byte, 
 	if s.surface != nil {
 		h.Set("X-Surface", s.surface.Hash())
 	}
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ETagMatch(inm, etag) {
 		s.reg.Counter("server.requests_not_modified").Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return

@@ -39,6 +39,7 @@ import (
 
 	"pipecache/internal/btb"
 	"pipecache/internal/cache"
+	"pipecache/internal/cluster"
 	"pipecache/internal/core"
 	"pipecache/internal/cpisim"
 	"pipecache/internal/gen"
@@ -339,6 +340,22 @@ type (
 
 // NewServer wraps a Lab with the HTTP design-space service.
 func NewServer(lab *Lab, cfg ServerConfig) (*Server, error) { return server.New(lab, cfg) }
+
+// Sharded coordinator tier (internal/cluster).
+type (
+	// Coordinator fronts a fleet of Server backends: single-point requests
+	// are consistent-hashed onto a shard (keeping each shard's caches hot on
+	// a stable slice of the key space) and design-space reductions are
+	// fanned out as contiguous sub-range sweeps whose merge is byte-identical
+	// to a single backend's answer (the `pipecache coordinate` subsystem).
+	Coordinator = cluster.Coordinator
+	// CoordinatorConfig tunes the coordinator; zero values take the
+	// defaults.
+	CoordinatorConfig = cluster.Config
+)
+
+// NewCoordinator builds a coordinator over the configured shard fleet.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return cluster.New(cfg) }
 
 // VersionInfo reads the running binary's build metadata.
 func VersionInfo() BuildInfo { return server.VersionInfo() }
