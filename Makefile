@@ -18,6 +18,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The race-detector package list shared with CI: concurrency-bearing
+# packages, including the sharded-replay tier (cpisim) and the boundary
+# banks it merges (cache).
+RACE_PKGS = ./internal/server ./internal/core ./internal/obs ./internal/trace \
+	./internal/fault ./internal/chaos ./internal/surface ./internal/cluster \
+	./internal/cpisim ./internal/cache
+
 # One iteration of every paper table/figure benchmark plus microbenches.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
@@ -27,8 +34,11 @@ bench-full:
 	PIPECACHE_BENCH_INSTS=2000000 $(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
 
 # Machine-readable simulator benchmark summary (archived by CI per commit).
+# The floor is the pre-lane-pack replay throughput: dipping below it means
+# the compiled-plan/lane-packed replay tier's gains have been lost entirely.
+REPLAY_FLOOR ?= 70000000
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json -replay-floor $(REPLAY_FLOOR)
 
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/
@@ -86,7 +96,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/core ./internal/obs ./internal/trace ./internal/fault ./internal/chaos ./internal/surface ./internal/cluster
+	$(GO) test -race $(RACE_PKGS)
 
 clean:
 	$(GO) clean ./...

@@ -369,6 +369,103 @@ func BenchmarkSimInstrumented(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// replayFixture captures one 200k-instruction espresso event trace,
+// shared by the replay benchmarks below.
+var (
+	replayFixOnce sync.Once
+	replayFixCfg  SimConfig
+	replayFixWs   []Workload
+	replayFixTr   *EventTrace
+	replayFixErr  error
+)
+
+const replayFixInsts = 200_000
+
+func replayFixture(b *testing.B) (SimConfig, []Workload, *EventTrace) {
+	b.Helper()
+	replayFixOnce.Do(func() {
+		spec, _ := LookupBenchmark("espresso")
+		prog, err := BuildProgram(spec, 0)
+		if err != nil {
+			replayFixErr = err
+			return
+		}
+		replayFixCfg = SimConfig{
+			BranchSlots: 2,
+			LoadSlots:   2,
+			ICaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+			DCaches:     []CacheConfig{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}},
+		}
+		replayFixWs = []Workload{{Prog: prog, Seed: spec.Seed, Weight: 1}}
+		capSim, err := NewSim(replayFixCfg, replayFixWs)
+		if err != nil {
+			replayFixErr = err
+			return
+		}
+		rec := NewEventRecorder("bench", replayFixInsts)
+		capSim.SetCapture(rec)
+		if _, err := capSim.Run(replayFixInsts); err != nil {
+			replayFixErr = err
+			return
+		}
+		replayFixTr = rec.Finish()
+	})
+	if replayFixErr != nil {
+		b.Fatal(replayFixErr)
+	}
+	return replayFixCfg, replayFixWs, replayFixTr
+}
+
+// BenchmarkTraceReplay measures the sequential replay kernel: one full
+// espresso pass per iteration over a pre-captured event trace, through
+// the compiled chunk plans and the lane-packed banks. The insts/s metric
+// is the headline replay throughput (compare BENCH_sim.json).
+func BenchmarkTraceReplay(b *testing.B) {
+	cfg, ws, tr := replayFixture(b)
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(cfg, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Replay(replayFixInsts, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Benches[0].Insts
+		sim.Release()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkShardedReplay replays the same trace through the sharded
+// single-pass tier at several worker counts. Results are bit-identical
+// to BenchmarkTraceReplay at every count (see the differential tests in
+// internal/cpisim); the wall-clock split across workers only appears
+// when GOMAXPROCS grants the shards real cores.
+func BenchmarkShardedReplay(b *testing.B) {
+	cfg, ws, tr := replayFixture(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSim(cfg, ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.ReplaySharded(replayFixInsts, tr, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Benches[0].Insts
+				sim.Release()
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+		})
+	}
+}
+
 // BenchmarkCacheAccess measures the raw cache model: the direct-mapped
 // fast path against the LRU set-search paths.
 func BenchmarkCacheAccess(b *testing.B) {
@@ -395,7 +492,10 @@ func BenchmarkCacheAccess(b *testing.B) {
 
 // BenchmarkCacheBankAccess measures the fused single-pass kernel over the
 // study's full power-of-two size ladder: one probe evaluates all six
-// configurations, so compare ns/op here against 6x the per-cache figure.
+// configurations at once against the lane-packed tag table. The
+// ns/probe/config metric normalizes by the ladder width, so it compares
+// directly against BenchmarkCacheAccess's per-cache ns/op whatever the
+// ladder size.
 func BenchmarkCacheBankAccess(b *testing.B) {
 	var cfgs []CacheConfig
 	for _, s := range []int{1, 2, 4, 8, 16, 32} {
@@ -409,6 +509,7 @@ func BenchmarkCacheBankAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bank.Access(uint32(i*7)&0xfffff, i&7 == 0)
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(cfgs)), "ns/probe/config")
 }
 
 // BenchmarkBTBResolve measures the branch-target buffer.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"pipecache/internal/mempool"
 	"pipecache/internal/obs"
 )
 
@@ -11,8 +12,9 @@ import (
 // configuration.
 const MaxBankConfigs = 64
 
-// bankMeta is the per-configuration geometry, hoisted out of the probe
-// loop so the hot path is pure shifts and masks.
+// bankMeta is the per-configuration geometry of the general (non-packed)
+// kernel, hoisted out of the probe loop so the hot path is pure shifts
+// and masks.
 type bankMeta struct {
 	blockBits uint32 // log2 block size in words
 	tagShift  uint32 // log2 set count
@@ -20,30 +22,55 @@ type bankMeta struct {
 	assoc     int32
 	base      int32 // offset of this configuration's lines in the shared arrays
 	lines     int32 // number of lines (sets * assoc)
+	ci        int32 // index of the configuration in the bank
 	writeBack bool
 }
 
 // Bank simulates a whole ladder of cache configurations in one probe.
 // Miss counts do not depend on miss penalties, so a single pass over the
-// reference stream can evaluate every candidate size at once; Bank fuses
-// those models into one kernel with a structure-of-arrays layout shared
-// across configurations and all set/tag math precomputed. Each probe
+// reference stream can evaluate every candidate size at once. Each probe
 // returns a bitmask with bit i set when configuration i missed (the same
 // condition as !Cache.Access().Hit), and the per-configuration Stats are
 // bit-identical to running a separate Cache per configuration.
 //
+// Direct-mapped configurations sharing a block size and write policy are
+// fused into lane-packed groups (see packed.go): one table lookup and one
+// tag compare update every such configuration at once through uint64
+// valid/dirty bitmask lanes. Configurations the packing cannot express
+// (set-associative ones) fall back to the general structure-of-arrays
+// kernel below.
+//
 // Bank is not safe for concurrent use.
 type Bank struct {
 	cfgs []Config
-	meta []bankMeta
 
-	// Shared line state, indexed [meta.base + set*assoc + way]. A line's
-	// tag carries lineValid (bit 32) when the line holds data: one
-	// 64-bit compare replaces the separate valid-byte and tag loads, and
-	// the zero value (no lineValid bit) can never match a real probe tag.
-	// Invalid lines keep lru == 0, below every real tick, so LRU victim
-	// selection prefers them exactly as an explicit empty-way scan would.
-	// dirty is only ever set on resident lines.
+	// Lane-packed groups plus the general-kernel leftovers.
+	packed []*packedGroup
+	meta   []bankMeta // general configurations only
+	// wtDerived marks packed write-through lanes: every write probes every
+	// lane, so Throughs is exactly the bank-level write count and is
+	// derived in Stats instead of counted per probe.
+	wtDerived []bool
+
+	// fullyPacked marks the common case of a single packed group covering
+	// every configuration: the probe path collapses to that group and a
+	// one-entry read memo becomes sound (packed hits mutate nothing, so a
+	// repeated read of the last probed block is a guaranteed all-lane hit).
+	fullyPacked bool
+	memoBlock   uint32
+	memoOK      bool
+
+	// probeTag is an opaque label recorded with deferred boundary-mode
+	// probes (sharded replay); see SetProbeTag.
+	probeTag uint32
+
+	// Shared general-kernel line state, indexed [meta.base + set*assoc +
+	// way]. A line's tag carries lineValid (bit 32) when the line holds
+	// data: one 64-bit compare replaces the separate valid-byte and tag
+	// loads, and the zero value can never match a real probe tag. Invalid
+	// lines keep lru == 0, below every real tick, so LRU victim selection
+	// prefers them exactly as an explicit empty-way scan would. dirty is
+	// only ever set on resident lines.
 	tags  []uint64
 	dirty []bool
 	lru   []uint64
@@ -70,35 +97,86 @@ func NewBank(cfgs []Config) (*Bank, error) {
 		return nil, fmt.Errorf("cache: bank of %d configs exceeds %d", len(cfgs), MaxBankConfigs)
 	}
 	b := &Bank{
-		cfgs:       append([]Config(nil), cfgs...),
-		meta:       make([]bankMeta, len(cfgs)),
-		stats:      make([]Stats, len(cfgs)),
-		probeWords: 0,
+		cfgs:      append([]Config(nil), cfgs...),
+		stats:     make([]Stats, len(cfgs)),
+		wtDerived: make([]bool, len(cfgs)),
 	}
-	total := 0
-	for i, cfg := range cfgs {
+	for _, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
+		if b.probeWords == 0 || uint32(cfg.BlockWords) < b.probeWords {
+			b.probeWords = uint32(cfg.BlockWords)
+		}
+	}
+
+	// Partition: packable configurations group by (block size, write
+	// policy) in chunks of at most maxPackedLanes, preserving config
+	// order; the rest go to the general kernel.
+	type groupKey struct {
+		blockWords int
+		writeBack  bool
+	}
+	groups := map[groupKey][]int{}
+	var keys []groupKey
+	var general []int
+	for ci, cfg := range cfgs {
+		if !packable(cfg) {
+			general = append(general, ci)
+			continue
+		}
+		k := groupKey{cfg.BlockWords, cfg.WriteBack}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], ci)
+	}
+	for _, k := range keys {
+		idx := groups[k]
+		for len(idx) > 0 {
+			n := len(idx)
+			if n > maxPackedLanes {
+				n = maxPackedLanes
+			}
+			g := newPackedGroup(b.cfgs, idx[:n])
+			for l := range g.lanes {
+				// b.stats never reallocates, so the per-lane counter pointer
+				// stays valid for the bank's lifetime.
+				g.lanes[l].st = &b.stats[g.lanes[l].ci]
+			}
+			b.packed = append(b.packed, g)
+			if !k.writeBack {
+				for _, ci := range idx[:n] {
+					b.wtDerived[ci] = true
+				}
+			}
+			idx = idx[n:]
+		}
+	}
+
+	total := 0
+	for _, ci := range general {
+		cfg := cfgs[ci]
 		sets := cfg.SizeKW * 1024 / (cfg.BlockWords * cfg.Assoc)
 		lines := sets * cfg.Assoc
-		b.meta[i] = bankMeta{
+		b.meta = append(b.meta, bankMeta{
 			blockBits: uint32(bits.TrailingZeros32(uint32(cfg.BlockWords))),
 			tagShift:  uint32(bits.TrailingZeros32(uint32(sets))),
 			setMask:   uint32(sets - 1),
 			assoc:     int32(cfg.Assoc),
 			base:      int32(total),
 			lines:     int32(lines),
+			ci:        int32(ci),
 			writeBack: cfg.WriteBack,
-		}
+		})
 		total += lines
-		if b.probeWords == 0 || uint32(cfg.BlockWords) < b.probeWords {
-			b.probeWords = uint32(cfg.BlockWords)
-		}
 	}
-	b.tags = make([]uint64, total)
-	b.dirty = make([]bool, total)
-	b.lru = make([]uint64, total)
+	if total > 0 {
+		b.tags = mempool.Uint64s(total)
+		b.dirty = mempool.Bools(total)
+		b.lru = mempool.Uint64s(total)
+	}
+	b.fullyPacked = len(b.meta) == 0 && len(b.packed) == 1
 	return b, nil
 }
 
@@ -112,11 +190,47 @@ func (b *Bank) Len() int { return len(b.cfgs) }
 // Config returns the i'th configuration.
 func (b *Bank) Config(i int) Config { return b.cfgs[i] }
 
+// AllPacked reports whether every configuration is covered by lane-packed
+// groups (the precondition for boundary-mode sharding, whose
+// reconciliation argument relies on the packed representation).
+func (b *Bank) AllPacked() bool { return len(b.meta) == 0 }
+
+// PackedGroups returns the number of lane-packed groups.
+func (b *Bank) PackedGroups() int { return len(b.packed) }
+
+// SetProbeTag labels subsequent probes for boundary-mode reconciliation:
+// deferred first-touch records carry the tag so the resolver can
+// attribute late-resolved misses (e.g. to the benchmark that probed).
+// Ignored outside boundary mode.
+func (b *Bank) SetProbeTag(tag uint32) { b.probeTag = tag }
+
+// Release returns the bank's pooled slabs. The bank must not be used
+// afterwards.
+func (b *Bank) Release() {
+	for _, g := range b.packed {
+		g.release()
+	}
+	b.packed = nil
+	if b.tags != nil {
+		mempool.PutUint64s(b.tags)
+		mempool.PutBools(b.dirty)
+		mempool.PutUint64s(b.lru)
+		b.tags, b.dirty, b.lru = nil, nil, nil
+	}
+	b.meta = nil
+}
+
 // Stats returns a copy of the i'th configuration's statistics.
 func (b *Bank) Stats(i int) Stats {
 	st := b.stats[i]
 	st.Reads += b.reads
 	st.Writes += b.writes
+	if b.wtDerived[i] {
+		// Packed write-through lanes: every write probe forwards to the
+		// next level whether it hits or misses, so Throughs is exactly
+		// the bank-level write count.
+		st.Throughs += b.writes
+	}
 	return st
 }
 
@@ -152,67 +266,95 @@ func (b *Bank) AccessRange(addr uint32, n int) uint64 {
 }
 
 func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
-	// One tick per probe (not per word): each probe touches at most one
-	// line per configuration, so relative last-use order — all LRU needs —
-	// is preserved exactly versus the per-access tick of Cache.
-	b.tick++
 	if write {
 		b.writes += n
 	} else {
 		b.reads += n
 	}
+	if b.fullyPacked {
+		g := b.packed[0]
+		block := addr >> g.blockBits
+		if !write && b.memoOK && block == b.memoBlock {
+			// The last probed block is resident in every lane (packed
+			// hits mutate no state), so a repeated read is a full hit.
+			return 0
+		}
+		// g.probe's body, flattened here to drop one call from the probe
+		// path (the dominant cost of a hit is the call overhead itself).
+		s := block & g.maskMax
+		t := uint64(block >> g.setBits)
+		e := g.table[s]
+		var miss uint64
+		if e>>32 == t && e&g.allValid == g.allValid {
+			if write && g.writeBack {
+				g.table[s] = e | g.allValid<<16
+				if g.sym != nil && g.sym[s] != 0 {
+					g.sym[s] = 0
+				}
+			}
+		} else {
+			miss = g.probeSlow(b, block, s, t, e, write)
+		}
+		if !write || g.writeBack {
+			// After an allocating probe every lane holds the block; a
+			// write-through write changes nothing, so the previous memo
+			// stays valid instead.
+			b.memoBlock, b.memoOK = block, true
+		}
+		return miss
+	}
+	var miss uint64
+	for _, g := range b.packed {
+		miss |= g.probe(b, addr>>g.blockBits, write)
+	}
+	if len(b.meta) != 0 {
+		miss |= b.probeGeneral(addr, write)
+	}
+	return miss
+}
+
+// probeGeneral runs the structure-of-arrays kernel over the
+// configurations the lane packing cannot express.
+func (b *Bank) probeGeneral(addr uint32, write bool) uint64 {
+	// One tick per probe (not per word): each probe touches at most one
+	// line per configuration, so relative last-use order — all LRU needs —
+	// is preserved exactly versus the per-access tick of Cache.
+	b.tick++
 	var miss uint64
 	prevBits := uint32(0xffffffff)
 	var block uint32
-	for ci := range b.meta {
-		m := &b.meta[ci]
-		// The block number only depends on the block size; the ladder
-		// shares one block size, so this recomputes at most once per
-		// distinct size rather than once per configuration.
+	for mi := range b.meta {
+		m := &b.meta[mi]
+		// The block number only depends on the block size; a ladder
+		// sharing one block size recomputes it at most once per distinct
+		// size rather than once per configuration.
 		if m.blockBits != prevBits {
 			block = addr >> m.blockBits
 			prevBits = m.blockBits
 		}
 		set := block & m.setMask
 		vtag := uint64(block>>m.tagShift) | lineValid
-
-		if m.assoc == 1 {
-			// Direct-mapped fast path: one candidate line, no LRU.
-			i := int(m.base) + int(set)
-			if b.tags[i] == vtag {
-				if write {
-					if m.writeBack {
-						b.dirty[i] = true
-					} else {
-						b.stats[ci].Throughs++
-					}
-				}
-				continue
-			}
-			miss |= 1 << uint(ci)
-			st := &b.stats[ci]
-			if write {
-				st.WriteMisses++
-				if !m.writeBack {
-					st.Throughs++
-					continue
-				}
-			} else {
-				st.ReadMisses++
-			}
-			if b.dirty[i] {
-				st.Writebacks++
-			}
-			b.dirty[i] = write
-			b.tags[i] = vtag
-			continue
-		}
+		ci := m.ci
 
 		base := int(m.base) + int(set)*int(m.assoc)
 		hit := false
 		for w := 0; w < int(m.assoc); w++ {
 			i := base + w
 			if b.tags[i] == vtag {
+				if w != 0 {
+					// Move-to-front: temporal locality lands most hits on
+					// the most recent line, so keeping it at way 0 makes
+					// the common hit a single compare. Pure way
+					// permutation within the set — the line's tag, dirty
+					// bit, and lru tick travel together, and LRU ties
+					// arise only among invalid lines, which are
+					// interchangeable (tag 0, clean, lru 0) — so every
+					// observable (miss masks, stats) is unchanged.
+					b.tags[i], b.tags[base] = b.tags[base], b.tags[i]
+					b.dirty[i], b.dirty[base] = b.dirty[base], b.dirty[i]
+					b.lru[i], b.lru[base] = b.lru[base], b.lru[i]
+					i = base
+				}
 				b.lru[i] = b.tick
 				if write {
 					if m.writeBack {
@@ -265,11 +407,15 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 // Flush invalidates every line of every configuration, counting dirty
 // lines as writebacks, and leaves the other statistics alone.
 func (b *Bank) Flush() {
-	for ci := range b.meta {
-		m := &b.meta[ci]
+	for _, g := range b.packed {
+		g.flush(b)
+	}
+	b.memoOK = false
+	for mi := range b.meta {
+		m := &b.meta[mi]
 		for i := int(m.base); i < int(m.base+m.lines); i++ {
 			if b.dirty[i] {
-				b.stats[ci].Writebacks++
+				b.stats[m.ci].Writebacks++
 			}
 			b.tags[i] = 0
 			b.dirty[i] = false

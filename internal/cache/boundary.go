@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"pipecache/internal/mempool"
+)
+
+// Boundary mode: exact mid-stream sharding of a lane-packed bank.
+//
+// A sharded replay cuts one reference stream into segments and probes
+// each segment against its own cold bank. Cold starts are not
+// bit-identical — the first touch of every (lane, class) cannot know
+// whether the incoming state would have hit — so a boundary-mode bank
+// defers exactly those probes: it records them in a chronological log,
+// optimistically installs the block (after any allocating probe every
+// lane holds the probed block regardless of the incoming state, so all
+// later probes of the segment are exact), and counts only the lanes whose
+// state the segment itself established.
+//
+// The one quantity the optimistic install cannot pin is the dirty bit a
+// first-touch *read* inherits when the incoming state hits: the group
+// marks those lanes symbolic (sym masks), stores them clean, and logs a
+// symEvict record if a symbolic line is evicted before the segment ends.
+//
+// ShardChain then replays the logs in shard order against the carried
+// merged bank — which holds the exact end state of everything before the
+// shard — resolving each deferred probe (hit or miss, eviction writeback,
+// attribution), patching symbolic dirty bits, and composing the shard's
+// end state onto the merged bank. The result is bit-identical, counters
+// and state, to one sequential pass at any shard count.
+
+// boundaryRec is one deferred event. For probe records, block is the
+// probed block number, lanes the first-touch lanes, tag the opaque probe
+// label, and recWrite distinguishes writes. For recSymEvict records,
+// block holds the entry index whose symbolic lanes were evicted.
+type boundaryRec struct {
+	block uint32
+	tag   uint32
+	lanes uint16
+	flags uint8
+}
+
+const (
+	recWrite uint8 = 1 << iota
+	recSymEvict
+)
+
+var boundaryLogPool = sync.Pool{New: func() any { return []boundaryRec(nil) }}
+
+func getBoundaryLog() []boundaryRec {
+	return boundaryLogPool.Get().([]boundaryRec)[:0]
+}
+
+func putBoundaryLog(log []boundaryRec) {
+	if cap(log) > 0 {
+		boundaryLogPool.Put(log[:0])
+	}
+}
+
+// NewBoundaryBank builds a lane-packed bank in boundary mode: it starts
+// cold, defers first-touch probes to its reconciliation log, and is
+// merged into a carried bank by ShardChain.Absorb. Every configuration
+// must be packable (direct-mapped); set-associative configurations have
+// LRU state the single-record-per-class argument cannot cover.
+func NewBoundaryBank(cfgs []Config) (*Bank, error) {
+	b, err := NewBank(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	if !b.AllPacked() {
+		b.Release()
+		return nil, fmt.Errorf("cache: boundary mode requires direct-mapped configurations only")
+	}
+	for _, g := range b.packed {
+		g.boundary = true
+		g.log = getBoundaryLog()
+		if g.writeBack {
+			g.sym = mempool.Uint16s(int(g.maskMax) + 1)
+		}
+	}
+	return b, nil
+}
+
+// MissAttr receives each late-resolved miss: the probe's tag (see
+// Bank.SetProbeTag), the missing configuration index, and whether the
+// probe was a write.
+type MissAttr func(tag uint32, ci int, write bool)
+
+// ShardChain merges a sequence of boundary-mode shard banks, in stream
+// order, onto one carried bank that must have identical configurations
+// and start in the state preceding the first shard (cold for a
+// whole-pass chain). After the last Absorb the carried bank's state and
+// statistics are bit-identical to a single sequential pass.
+type ShardChain struct {
+	merged *Bank
+	attr   MissAttr
+	// resolved[g][l] is a per-lane-class bitset holding the resolved
+	// incoming dirty bit of the shard currently being absorbed (set when
+	// the deferred first-touch read hit a dirty incoming line).
+	resolved [][][]uint64
+}
+
+// NewShardChain starts a chain onto merged, which must be fully packed.
+// attr (optional) receives every late-resolved miss.
+func NewShardChain(merged *Bank, attr MissAttr) (*ShardChain, error) {
+	if !merged.AllPacked() {
+		return nil, fmt.Errorf("cache: shard chain requires a fully packed bank")
+	}
+	sc := &ShardChain{merged: merged, attr: attr}
+	sc.resolved = make([][][]uint64, len(merged.packed))
+	for gi, g := range merged.packed {
+		sc.resolved[gi] = make([][]uint64, len(g.lanes))
+		for l := range g.lanes {
+			words := (int(g.lanes[l].mask) + 64) / 64
+			sc.resolved[gi][l] = mempool.Uint64s(words)
+		}
+	}
+	return sc, nil
+}
+
+// Release returns the chain's pooled scratch.
+func (sc *ShardChain) Release() {
+	for _, lanes := range sc.resolved {
+		for _, bs := range lanes {
+			mempool.PutUint64s(bs)
+		}
+	}
+	sc.resolved = nil
+}
+
+// Absorb resolves one shard's deferred probes against the carried bank,
+// folds the shard's counters in, and composes the shard's end state onto
+// the carried state. Shards must be absorbed in stream order.
+func (sc *ShardChain) Absorb(shard *Bank) error {
+	m := sc.merged
+	if len(shard.packed) != len(m.packed) || len(shard.cfgs) != len(m.cfgs) {
+		return fmt.Errorf("cache: shard bank shape mismatch")
+	}
+	m.memoOK = false // composition invalidates the read memo
+	for gi, sg := range shard.packed {
+		mg := m.packed[gi]
+		if !sg.boundary || sg.maskMax != mg.maskMax || len(sg.lanes) != len(mg.lanes) {
+			return fmt.Errorf("cache: shard group %d shape mismatch", gi)
+		}
+		res := sc.resolved[gi]
+		for l := range res {
+			clear(res[l])
+		}
+
+		// Pass 1: resolve the log against the carried (pre-shard) state.
+		for ri := range sg.log {
+			r := &sg.log[ri]
+			if r.flags&recSymEvict != 0 {
+				s := r.block
+				for ml := uint64(r.lanes); ml != 0; ml &= ml - 1 {
+					l := bits.TrailingZeros64(ml)
+					lane := &mg.lanes[l]
+					c := s & lane.mask
+					if res[l][c>>6]&(1<<(c&63)) != 0 {
+						m.stats[lane.ci].Writebacks++
+					}
+				}
+				continue
+			}
+			block := r.block
+			s := block & mg.maskMax
+			t := uint64(block >> mg.setBits)
+			e := mg.table[s]
+			tagMatch := e>>32 == t && e&0xffff != 0
+			write := r.flags&recWrite != 0
+			for ml := uint64(r.lanes); ml != 0; ml &= ml - 1 {
+				l := bits.TrailingZeros64(ml)
+				bit := uint64(1) << uint(l)
+				lane := &mg.lanes[l]
+				c := s & lane.mask
+				if tagMatch && e&bit != 0 {
+					// The lane's incoming line is the probed block: hit.
+					// A first-touch read inherits the incoming dirty bit.
+					if !write && mg.writeBack && e&(bit<<16) != 0 {
+						res[l][c>>6] |= 1 << (c & 63)
+					}
+					continue
+				}
+				st := &m.stats[lane.ci]
+				if write {
+					st.WriteMisses++
+				} else {
+					st.ReadMisses++
+				}
+				if sc.attr != nil {
+					sc.attr(r.tag, int(lane.ci), write)
+				}
+				if write && !mg.writeBack {
+					continue // write-through write miss: no fill, no eviction
+				}
+				if mg.writeBack {
+					// The fill evicts the lane's incoming line.
+					oldEntry := int32(-1)
+					if lane.holder == nil {
+						if e&bit != 0 {
+							oldEntry = int32(s)
+						}
+					} else {
+						oldEntry = lane.holder[c]
+					}
+					if oldEntry >= 0 && mg.table[oldEntry]&(bit<<16) != 0 {
+						st.Writebacks++
+					}
+				}
+			}
+		}
+
+		// Pass 2: compose the shard's end state onto the carried state.
+		// Holder moves first (they clear lane bits at entries the shard
+		// never probed), then the probed entries wholesale, patching
+		// symbolic dirty bits with their resolved values.
+		for l := range mg.lanes {
+			slh := sg.lanes[l].holder
+			if slh == nil {
+				continue
+			}
+			mlh := mg.lanes[l].holder
+			bit := uint64(1) << uint(l)
+			for c, v := range slh {
+				if v < 0 {
+					continue
+				}
+				if old := mlh[c]; old >= 0 && old != v {
+					mg.table[old] &^= bit | bit<<16
+				}
+				mlh[c] = v
+			}
+		}
+		for s, se := range sg.table {
+			if se == 0 {
+				continue
+			}
+			if sg.sym != nil {
+				if sy := uint64(sg.sym[s]); sy != 0 {
+					var d uint64
+					for ml := sy; ml != 0; ml &= ml - 1 {
+						l := bits.TrailingZeros64(ml)
+						c := uint32(s) & mg.lanes[l].mask
+						if res[l][c>>6]&(1<<(c&63)) != 0 {
+							d |= 1 << uint(l)
+						}
+					}
+					se |= d << 16
+				}
+			}
+			mg.table[s] = se
+		}
+	}
+
+	// Fold the shard's concrete counters in.
+	for i := range shard.stats {
+		s := &shard.stats[i]
+		d := &m.stats[i]
+		d.ReadMisses += s.ReadMisses
+		d.WriteMisses += s.WriteMisses
+		d.Writebacks += s.Writebacks
+		d.Throughs += s.Throughs
+		d.Reads += s.Reads
+		d.Writes += s.Writes
+	}
+	m.reads += shard.reads
+	m.writes += shard.writes
+	return nil
+}

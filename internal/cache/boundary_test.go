@@ -1,0 +1,266 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"pipecache/internal/stats"
+)
+
+// bankOp is one probe of a synthetic reference stream.
+type bankOp struct {
+	addr  uint32
+	n     int // AccessRange length; 0 means Access
+	tag   uint32
+	write bool
+}
+
+func randomOps(seed uint64, n int, space int) []bankOp {
+	r := stats.NewRNG(seed)
+	ops := make([]bankOp, n)
+	for i := range ops {
+		op := &ops[i]
+		op.addr = uint32(r.Intn(space))
+		op.tag = uint32(r.Intn(4))
+		switch {
+		case r.Bool(0.3):
+			op.write = true
+		case r.Bool(0.3):
+			op.addr &^= 3
+			op.n = 1 + r.Intn(4)
+		}
+	}
+	return ops
+}
+
+// attrCount keys late-resolved or direct miss attributions.
+type attrCount map[[3]uint32]uint64 // {tag, ci, write(0/1)}
+
+func countMask(ac attrCount, tag uint32, mask uint64, write bool) {
+	w := uint32(0)
+	if write {
+		w = 1
+	}
+	for ci := 0; ci < 64; ci++ {
+		if mask&(1<<uint(ci)) != 0 {
+			ac[[3]uint32{tag, uint32(ci), w}]++
+		}
+	}
+}
+
+func runOps(b *Bank, ops []bankOp, ac attrCount) {
+	for _, op := range ops {
+		b.SetProbeTag(op.tag)
+		var mask uint64
+		if op.n > 0 {
+			mask = b.AccessRange(op.addr, op.n)
+		} else {
+			mask = b.Access(op.addr, op.write)
+		}
+		countMask(ac, op.tag, mask, op.write)
+	}
+}
+
+// runSharded replays ops cut at the given boundaries through cold
+// boundary-mode banks chained onto a merged bank, and returns the merged
+// bank plus the total attribution (segment-concrete + late-resolved).
+func runSharded(t *testing.T, cfgs []Config, ops []bankOp, cuts []int) (*Bank, attrCount) {
+	t.Helper()
+	merged := mustBank(t, cfgs)
+	ac := attrCount{}
+	chain, err := NewShardChain(merged, func(tag uint32, ci int, write bool) {
+		w := uint32(0)
+		if write {
+			w = 1
+		}
+		ac[[3]uint32{tag, uint32(ci), w}]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Release()
+	prev := 0
+	bounds := append(append([]int(nil), cuts...), len(ops))
+	for _, cut := range bounds {
+		sb, err := NewBoundaryBank(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOps(sb, ops[prev:cut], ac)
+		if err := chain.Absorb(sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.Release()
+		prev = cut
+	}
+	return merged, ac
+}
+
+func checkBanksIdentical(t *testing.T, label string, seq, merged *Bank, cfgs []Config) {
+	t.Helper()
+	for ci := range cfgs {
+		if got, want := merged.Stats(ci), seq.Stats(ci); got != want {
+			t.Fatalf("%s: cfg %v: sharded stats %+v, sequential %+v", label, cfgs[ci], got, want)
+		}
+	}
+	for gi := range seq.packed {
+		sg, mg := seq.packed[gi], merged.packed[gi]
+		for s := range sg.table {
+			if sg.table[s] != mg.table[s] {
+				t.Fatalf("%s: group %d entry %d: sharded %#x, sequential %#x", label, gi, s, mg.table[s], sg.table[s])
+			}
+		}
+		for l := range sg.lanes {
+			sh, mh := sg.lanes[l].holder, mg.lanes[l].holder
+			for c := range sh {
+				if sh[c] != mh[c] {
+					t.Fatalf("%s: group %d lane %d class %d: sharded holder %d, sequential %d", label, gi, l, c, mh[c], sh[c])
+				}
+			}
+		}
+	}
+}
+
+func checkAttrIdentical(t *testing.T, label string, seq, sh attrCount) {
+	t.Helper()
+	for k, v := range seq {
+		if sh[k] != v {
+			t.Fatalf("%s: attribution %v: sharded %d, sequential %d", label, k, sh[k], v)
+		}
+	}
+	for k, v := range sh {
+		if seq[k] != v {
+			t.Fatalf("%s: attribution %v: sharded %d, sequential %d (extra)", label, k, v, seq[k])
+		}
+	}
+}
+
+var boundaryLadders = []struct {
+	name string
+	cfgs []Config
+}{
+	{"wb-ladder", func() []Config {
+		var cfgs []Config
+		for _, s := range []int{1, 2, 4, 8, 16, 32} {
+			cfgs = append(cfgs, Config{SizeKW: s, BlockWords: 4, Assoc: 1, WriteBack: true})
+		}
+		return cfgs
+	}()},
+	{"wt-ladder", func() []Config {
+		var cfgs []Config
+		for _, s := range []int{1, 2, 4, 8, 16, 32} {
+			cfgs = append(cfgs, Config{SizeKW: s, BlockWords: 4, Assoc: 1, WriteBack: false})
+		}
+		return cfgs
+	}()},
+	{"mixed-groups", []Config{
+		{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: true},
+		{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true},
+		{SizeKW: 2, BlockWords: 8, Assoc: 1, WriteBack: false},
+		{SizeKW: 16, BlockWords: 8, Assoc: 1, WriteBack: false},
+		{SizeKW: 4, BlockWords: 16, Assoc: 1, WriteBack: true},
+	}},
+	{"single", []Config{{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}}},
+}
+
+// TestBoundaryChainDifferential replays random reference streams cut into
+// shards through boundary-mode banks and demands the chained merge be
+// bit-identical — statistics, per-tag miss attribution, and final line
+// state — to one sequential pass, across ladders, cut counts and
+// degenerate (empty) shards.
+func TestBoundaryChainDifferential(t *testing.T) {
+	for _, lad := range boundaryLadders {
+		// A tight address space forces heavy conflict/eviction traffic so
+		// symbolic dirty lines actually get evicted mid-shard.
+		for _, space := range []int{3000, 40_000} {
+			ops := randomOps(uint64(space)+uint64(len(lad.cfgs)), 6000, space)
+			seq := mustBank(t, lad.cfgs)
+			seqAC := attrCount{}
+			runOps(seq, ops, seqAC)
+
+			r := stats.NewRNG(uint64(space) * 7)
+			cutSets := [][]int{
+				{},               // one shard, whole stream
+				{0, 0, len(ops)}, // empty shards at both ends
+				{len(ops) / 2},   // halves
+				{1, 2, 3},        // single-op shards
+				{len(ops) / 3, 2 * len(ops) / 3},
+			}
+			for k := 0; k < 4; k++ {
+				var cuts []int
+				n := 1 + r.Intn(6)
+				for j := 0; j < n; j++ {
+					cuts = append(cuts, r.Intn(len(ops)+1))
+				}
+				sortInts(cuts)
+				cutSets = append(cutSets, cuts)
+			}
+			for ci, cuts := range cutSets {
+				label := fmt.Sprintf("%s/space=%d/cuts=%v", lad.name, space, ci)
+				merged, shAC := runSharded(t, lad.cfgs, ops, cuts)
+				checkBanksIdentical(t, label, seq, merged, lad.cfgs)
+				checkAttrIdentical(t, label, seqAC, shAC)
+				merged.Release()
+			}
+			seq.Release()
+		}
+	}
+}
+
+// TestBoundaryChainExhaustiveCuts tries every single cut position of a
+// short stream (two shards), including the degenerate empty-first and
+// empty-second splits.
+func TestBoundaryChainExhaustiveCuts(t *testing.T) {
+	cfgs := boundaryLadders[0].cfgs
+	ops := randomOps(42, 300, 2000)
+	seq := mustBank(t, cfgs)
+	seqAC := attrCount{}
+	runOps(seq, ops, seqAC)
+	defer seq.Release()
+	for cut := 0; cut <= len(ops); cut++ {
+		label := fmt.Sprintf("cut=%d", cut)
+		merged, shAC := runSharded(t, cfgs, ops, []int{cut})
+		checkBanksIdentical(t, label, seq, merged, cfgs)
+		checkAttrIdentical(t, label, seqAC, shAC)
+		merged.Release()
+	}
+}
+
+// TestPackedGroupChunking packs more same-shape lanes than one group's
+// mask width and checks the multi-group split stays differential-exact.
+func TestPackedGroupChunking(t *testing.T) {
+	var cfgs []Config
+	for i := 0; i < 20; i++ {
+		cfgs = append(cfgs, Config{SizeKW: 1 << uint(i%6), BlockWords: 4, Assoc: 1, WriteBack: true})
+	}
+	bank := mustBank(t, cfgs)
+	if bank.PackedGroups() != 2 || !bank.AllPacked() {
+		t.Fatalf("groups=%d allPacked=%v, want 2 groups all packed", bank.PackedGroups(), bank.AllPacked())
+	}
+	refs := refCaches(t, cfgs)
+	r := stats.NewRNG(11)
+	for i := 0; i < 20000; i++ {
+		addr := uint32(r.Intn(120_000))
+		write := r.Bool(0.3)
+		mask := bank.Access(addr, write)
+		for ci, c := range refs {
+			res := c.Access(addr, write)
+			if gotMiss := mask&(1<<uint(ci)) != 0; gotMiss == res.Hit {
+				t.Fatalf("cfg %d probe %d: bank miss=%v, cache hit=%v", ci, i, gotMiss, res.Hit)
+			}
+		}
+	}
+	for ci := range cfgs {
+		if got, want := bank.Stats(ci), refs[ci].Stats(); got != want {
+			t.Fatalf("cfg %d: bank stats %+v, cache stats %+v", ci, got, want)
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -64,6 +64,11 @@ func (s *Sim) ReplayContext(ctx context.Context, instsPerBench int64, tr *trace.
 	for i := range cursors {
 		cursors[i] = tr.Cursor(i)
 	}
+	// Expose the trace's plan cache to the column dispatch for the
+	// duration of the pass (plan.go); cleared on success so the simulator
+	// does not pin a released trace's memory.
+	s.replayAux = tr.Aux()
+	defer func() { s.replayAux = nil }()
 	remaining := make([]int64, len(s.benches))
 	for i := range remaining {
 		remaining[i] = instsPerBench
@@ -78,7 +83,13 @@ func (s *Sim) ReplayContext(ctx context.Context, instsPerBench int64, tr *trace.
 				continue
 			}
 			q := s.cfg.Quantum
-			if q > remaining[i] {
+			if len(s.benches) == 1 {
+				// A single workload has no interleaving: its turns
+				// concatenate into the same event sequence whatever the
+				// quantum, so one whole-stream turn replaces the per-quantum
+				// loop and lets Turn deliver whole chunks wholesale.
+				q = remaining[i]
+			} else if q > remaining[i] {
 				q = remaining[i]
 			}
 			ran := cursors[i].Turn(q, s.evbuf, b.sink)

@@ -1,0 +1,246 @@
+package cpisim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipecache/internal/cache"
+	"pipecache/internal/obs"
+	"pipecache/internal/trace"
+)
+
+// shardLadder is a small all-direct-mapped ladder mixing write policies,
+// the shape boundary mode supports and the ablation sweeps use.
+func shardLadder() []cache.Config {
+	return []cache.Config{
+		{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: true},
+		{SizeKW: 2, BlockWords: 4, Assoc: 1, WriteBack: true},
+		{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: false},
+	}
+}
+
+// bankStats collects every configuration's folded statistics, so tests
+// can pin merged bank state, not just the per-benchmark counters.
+func bankStats(b *cache.Bank, n int) []cache.Stats {
+	if b == nil {
+		return nil
+	}
+	sts := make([]cache.Stats, n)
+	for i := range sts {
+		sts[i] = b.Stats(i)
+	}
+	return sts
+}
+
+// sequentialReplay runs the plain sequential replay of cfg on a fresh
+// simulator and returns the result, the folded bank statistics, and the
+// published counters.
+func sequentialReplay(t *testing.T, cfg Config, ws []Workload, insts int64, tr *trace.EventTrace) (*Result, []cache.Stats, []cache.Stats, map[string]int64) {
+	t.Helper()
+	sim, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sim.SetObs(reg)
+	res, err := sim.Replay(insts, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, bankStats(sim.ibank, len(cfg.ICaches)), bankStats(sim.dbank, len(cfg.DCaches)), reg.Snapshot().Counters
+}
+
+// TestShardedReplayEveryCut is the exhaustive differential guarantee of
+// the sharded tier: for EVERY legal cut of the replay schedule — every
+// turn boundary, which is by construction a block-index boundary of the
+// stream — a two-shard pass produces a bit-identical Result, identical
+// merged bank statistics, and identical published counters to the
+// sequential replay. Degenerate cuts (a single shard spanning the whole
+// pass, and one shard per turn) are covered explicitly.
+func TestShardedReplayEveryCut(t *testing.T) {
+	ws := replayWorkloads(t)
+	const insts = 6_000
+	cfg := Config{
+		BranchSlots: 2,
+		LoadSlots:   2,
+		ICaches:     shardLadder(),
+		DCaches:     shardLadder(),
+		Quantum:     700, // small quantum: a dense set of legal cuts
+	}
+	_, tr := captureTrace(t, Config{Quantum: 700}, ws, insts)
+	defer tr.Release()
+
+	wantRes, wantI, wantD, wantC := sequentialReplay(t, cfg, ws, insts, tr)
+
+	walker, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !walker.shardableReplay() {
+		t.Fatal("configuration unexpectedly outside the sharded gate")
+	}
+	bounds, err := walker.walkSchedule(insts, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(bounds) - 1
+	if last < 3 {
+		t.Fatalf("schedule too short to exercise cuts: %d boundaries", len(bounds))
+	}
+
+	check := func(t *testing.T, cuts []int) {
+		t.Helper()
+		sim, err := New(cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		sim.SetObs(reg)
+		res, err := sim.replayShardedAt(context.Background(), tr, bounds, cuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Errorf("cuts %v: sharded result differs from sequential:\n sharded:    %+v\n sequential: %+v", cuts, res, wantRes)
+		}
+		if gotI := bankStats(sim.ibank, len(cfg.ICaches)); !reflect.DeepEqual(gotI, wantI) {
+			t.Errorf("cuts %v: merged I-bank stats differ:\n sharded:    %+v\n sequential: %+v", cuts, gotI, wantI)
+		}
+		if gotD := bankStats(sim.dbank, len(cfg.DCaches)); !reflect.DeepEqual(gotD, wantD) {
+			t.Errorf("cuts %v: merged D-bank stats differ:\n sharded:    %+v\n sequential: %+v", cuts, gotD, wantD)
+		}
+		if gotC := reg.Snapshot().Counters; !reflect.DeepEqual(gotC, wantC) {
+			t.Errorf("cuts %v: published counters differ:\n sharded:    %v\n sequential: %v", cuts, gotC, wantC)
+		}
+	}
+
+	// Every single cut position: shard pair [0,c) + [c,last).
+	for c := 1; c < last; c++ {
+		t.Run(fmt.Sprintf("cut-%d-of-%d", c, last), func(t *testing.T) {
+			check(t, []int{0, c, last})
+		})
+	}
+	t.Run("degenerate-one-shard", func(t *testing.T) {
+		check(t, []int{0, last})
+	})
+	t.Run("degenerate-shard-per-turn", func(t *testing.T) {
+		all := make([]int, last+1)
+		for i := range all {
+			all[i] = i
+		}
+		check(t, all)
+	})
+}
+
+// TestShardedReplayWorkers pins the public API at the acceptance worker
+// counts {1, 2, N}: bit-identical results whatever the parallelism, with
+// worker counts beyond the schedule length degrading gracefully.
+func TestShardedReplayWorkers(t *testing.T) {
+	ws := replayWorkloads(t)
+	const insts = 12_000
+	cfgs := map[string]Config{
+		"ladder": {BranchSlots: 2, LoadSlots: 1,
+			ICaches: shardLadder(), DCaches: shardLadder(), Quantum: 1_000},
+		"single-config": {BranchSlots: 1,
+			ICaches: []cache.Config{icfg()}, DCaches: []cache.Config{icfg()}, Quantum: 1_000},
+		"icache-only": {BranchSlots: 2,
+			ICaches: shardLadder(), Quantum: 1_000},
+	}
+	_, tr := captureTrace(t, Config{Quantum: 1_000}, ws, insts)
+	defer tr.Release()
+
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			want, wantI, wantD, _ := sequentialReplay(t, cfg, ws, insts, tr)
+			for _, workers := range []int{1, 2, 3, 8, 64} {
+				sim, err := New(cfg, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.ReplaySharded(insts, tr, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: result differs from sequential", workers)
+				}
+				if gotI := bankStats(sim.ibank, len(cfg.ICaches)); !reflect.DeepEqual(gotI, wantI) {
+					t.Errorf("workers=%d: merged I-bank stats differ", workers)
+				}
+				if gotD := bankStats(sim.dbank, len(cfg.DCaches)); !reflect.DeepEqual(gotD, wantD) {
+					t.Errorf("workers=%d: merged D-bank stats differ", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedReplayGateFallback: configurations outside the sharded gate
+// (set-associative banks, the BTB scheme) must fall back to the
+// sequential path and still produce correct results.
+func TestShardedReplayGateFallback(t *testing.T) {
+	ws := replayWorkloads(t)
+	const insts = 8_000
+	assoc := cache.Config{SizeKW: 2, BlockWords: 4, Assoc: 2, WriteBack: true}
+	cfgs := map[string]Config{
+		"set-associative": {BranchSlots: 1,
+			ICaches: []cache.Config{icfg(), assoc}, DCaches: []cache.Config{icfg()}, Quantum: 2_000},
+		"btb": {BranchScheme: BranchBTB,
+			ICaches: []cache.Config{icfg()}, DCaches: []cache.Config{icfg()}, Quantum: 2_000},
+	}
+	_, tr := captureTrace(t, Config{Quantum: 2_000}, ws, insts)
+	defer tr.Release()
+
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			want, _, _, _ := sequentialReplay(t, cfg, ws, insts, tr)
+			sim, err := New(cfg, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.shardableReplay() {
+				t.Fatal("configuration unexpectedly inside the sharded gate")
+			}
+			got, err := sim.ReplaySharded(insts, tr, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("fallback result differs from sequential replay")
+			}
+		})
+	}
+}
+
+// TestShardedReplaySingleBench: a lone workload shards at per-quantum
+// boundaries even though the sequential path replays it as one
+// whole-stream turn; the two must still agree bit-for-bit.
+func TestShardedReplaySingleBench(t *testing.T) {
+	ws := replayWorkloads(t)[:1]
+	const insts = 10_000
+	cfg := Config{BranchSlots: 2, LoadSlots: 2,
+		ICaches: shardLadder(), DCaches: shardLadder(), Quantum: 900}
+	_, tr := captureTrace(t, Config{Quantum: 900}, ws, insts)
+	defer tr.Release()
+
+	want, wantI, wantD, _ := sequentialReplay(t, cfg, ws, insts, tr)
+	sim, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.ReplaySharded(insts, tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("sharded single-bench result differs from sequential")
+	}
+	if gotI := bankStats(sim.ibank, len(cfg.ICaches)); !reflect.DeepEqual(gotI, wantI) {
+		t.Error("merged I-bank stats differ")
+	}
+	if gotD := bankStats(sim.dbank, len(cfg.DCaches)); !reflect.DeepEqual(gotD, wantD) {
+		t.Error("merged D-bank stats differ")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"pipecache/internal/btb"
 	"pipecache/internal/cache"
@@ -45,6 +46,17 @@ type Sim struct {
 	benches []*benchState
 	evbuf   []interp.Event
 	obs     *obs.Registry
+
+	// Call-free single-configuration probe views (fast.go); non-nil only
+	// when the corresponding bank is a single direct-mapped configuration.
+	// direct gates the fully inlined replay loop: every configured bank
+	// must have a view.
+	ibd, dbd *cache.Direct
+	direct   bool
+
+	// replayAux is the active trace's plan cache (plan.go) while a replay
+	// is running; nil during live runs, where no columns arrive anyway.
+	replayAux *sync.Map
 }
 
 type benchState struct {
@@ -53,12 +65,22 @@ type benchState struct {
 	prog *program.Program
 	seed uint64
 	xlat *sched.Translation
-	sink *benchSink
+	// slots and prof pin the translation's identity (together with prog)
+	// for the compiled-chunk plan cache: xlat itself is rebuilt per Sim,
+	// but these inputs are stable across simulators over one workload.
+	slots int
+	prof  *sched.Profile
+	sink  *benchSink
 	// drive is the sink the interpreter feeds during a live run: normally
 	// sink itself, or a trace.Recorder tee (SetCapture) that appends every
 	// event to an EventTrace on its way through.
 	drive interp.EventSink
 	skip  int // delay-slot instructions already executed for the next block
+
+	// ctis is the precomputed static-scheme CTI table driving the
+	// specialized replay loop (fast.go); nil when the configuration needs
+	// the generic dispatch.
+	ctis []blockMeta
 
 	// Deferred BTB resolution: the target address of a taken CTI is the
 	// next block's address, which arrives with the next Block event.
@@ -109,10 +131,14 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		slots = 0
 	}
 	for _, w := range ws {
+		prof := w.Profile
+		if cfg.BranchScheme != BranchStatic {
+			prof = nil
+		}
 		var xlat *sched.Translation
 		var err error
-		if w.Profile != nil && cfg.BranchScheme == BranchStatic {
-			xlat, err = sched.TranslateProfiled(w.Prog, slots, w.Profile)
+		if prof != nil {
+			xlat, err = sched.TranslateProfiled(w.Prog, slots, prof)
 		} else {
 			xlat, err = sched.Translate(w.Prog, slots)
 		}
@@ -123,7 +149,7 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs := &benchState{it: it, prog: w.Prog, seed: w.Seed, xlat: xlat}
+		bs := &benchState{it: it, prog: w.Prog, seed: w.Seed, xlat: xlat, slots: slots, prof: prof}
 		bs.sink = &benchSink{s: s, b: bs}
 		bs.drive = bs.sink
 		bs.res.Name = w.Prog.Name
@@ -138,7 +164,51 @@ func New(cfg Config, ws []Workload) (*Sim, error) {
 		}
 		s.benches = append(s.benches, bs)
 	}
+	if s.fastSinkOK() {
+		for _, bs := range s.benches {
+			if blockMetaFits(bs.xlat) {
+				bs.ctis = cachedBlockMeta(bs.prog, bs.xlat, bs.slots, bs.prof)
+			}
+		}
+		if s.ibank != nil {
+			s.ibd = s.ibank.Direct()
+		}
+		if s.dbank != nil {
+			s.dbd = s.dbank.Direct()
+		}
+		s.direct = (s.ibank == nil || s.ibd != nil) && (s.dbank == nil || s.dbd != nil)
+	}
 	return s, nil
+}
+
+// Release returns the simulator's pooled resources (cache bank slabs, CTI
+// tables). Optional — the GC reclaims everything anyway — but a sweep
+// building thousands of simulators recycles the same slab shapes, keeping
+// steady-state passes allocation-free. The simulator must not be used
+// after Release.
+func (s *Sim) Release() {
+	if s.ibank != nil {
+		s.ibank.Release()
+	}
+	if s.dbank != nil {
+		s.dbank.Release()
+	}
+	if s.l2bank != nil {
+		s.l2bank.Release()
+	}
+	// ctis tables are shared through blockMetaCache, not pooled; just drop
+	// the references.
+	for _, b := range s.benches {
+		b.ctis = nil
+	}
+	if s.ibd != nil {
+		s.ibd.Release()
+		s.ibd = nil
+	}
+	if s.dbd != nil {
+		s.dbd.Release()
+		s.dbd = nil
+	}
 }
 
 // Run executes instsPerBench useful instructions of every workload,
@@ -229,6 +299,18 @@ func (h *benchSink) Events(evs []interp.Event) {
 // materializing Event records. The switch bodies are identical to Events,
 // so live and replayed streams drive exactly the same state transitions.
 func (h *benchSink) EventColumns(kinds []uint8, as, bs []uint32) {
+	if h.b.ctis != nil {
+		if aux := h.s.replayAux; aux != nil && len(kinds) > 0 {
+			h.applyPlan(h.planFor(aux, kinds, as, bs))
+			return
+		}
+		if h.s.direct {
+			h.directColumns(kinds, as, bs)
+		} else {
+			h.fastColumns(kinds, as, bs)
+		}
+		return
+	}
 	// Reslicing to the kind column's length lets the compiler drop the
 	// per-event bounds checks on the value columns.
 	as = as[:len(kinds)]

@@ -124,7 +124,20 @@ type EventTrace struct {
 	benches       []*BenchEvents
 	bytes         int64
 	refs          atomic.Int32
+
+	// aux carries replay-tier caches derived from this trace's immutable
+	// streams (e.g. compiled chunk plans); see Aux.
+	aux sync.Map
 }
+
+// Aux returns the trace's auxiliary cache: an arbitrarily-keyed map for
+// derived data whose lifetime must match the trace's, such as the replay
+// tier's compiled chunk plans. The streams are immutable, so a derivation
+// computed once stays valid for the trace's whole life; consumers must
+// choose keys that distinct derivations cannot collide on (chunk column
+// pointers are unique within one trace, and the pooled slabs they point
+// into are only recycled after the last Release).
+func (t *EventTrace) Aux() *sync.Map { return &t.aux }
 
 // Key returns the capture key the trace was recorded under.
 func (t *EventTrace) Key() string { return t.key }
@@ -232,6 +245,25 @@ func (t *EventTrace) Cursor(i int) Cursor { return Cursor{be: t.benches[i]} }
 func (c *Cursor) Done() bool {
 	return c.ci >= len(c.be.chunks) ||
 		(c.ci == len(c.be.chunks)-1 && c.off >= len(c.be.chunks[c.ci].kind))
+}
+
+// PrevEvent returns the event immediately before the cursor's position,
+// or ok=false at the start of the stream. Turn parks cursors on block
+// boundaries, so the previous event is the last event of the preceding
+// block — the one place per-benchmark replay state (a pending delay-slot
+// skip from a predicted-taken CTI) can originate; a sharded replay uses
+// it to reconstruct that state at any cut without walking the stream.
+func (c *Cursor) PrevEvent() (kind uint8, a, b uint32, ok bool) {
+	ci, off := c.ci, c.off
+	if off == 0 {
+		if ci == 0 {
+			return 0, 0, 0, false
+		}
+		ci--
+		off = len(c.be.chunks[ci].kind)
+	}
+	ch := c.be.chunks[ci]
+	return ch.kind[off-1], ch.a[off-1], ch.b[off-1], true
 }
 
 // Turn replays one multiprogramming turn: whole blocks are delivered until
