@@ -622,6 +622,19 @@ func BenchmarkAblation_WritePolicy(b *testing.B) {
 	}
 }
 
+func BenchmarkPolicyStudy(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		r, err := l.PolicyStudy(4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report(b, r)
+		}
+	}
+}
+
 func BenchmarkAblation_BTBSize(b *testing.B) {
 	l := lab(b)
 	for i := 0; i < b.N; i++ {

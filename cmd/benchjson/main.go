@@ -282,6 +282,42 @@ func ablationSuite(insts int64, replay bool) (func(b *testing.B) int64, error) {
 	}, nil
 }
 
+// policyStudyBench runs the replacement-policy ablation end to end on a
+// fresh lab per iteration — memos cold every time — so the row prices the
+// per-policy bank construction plus the FIFO and Tree-PLRU probe kernels
+// on the real set-associative study workload, next to the LRU pass they
+// must not slow down.
+func policyStudyBench(insts int64) (func(b *testing.B) int64, error) {
+	var specs []pipecache.Spec
+	for _, name := range []string{"gcc", "yacc"} {
+		s, ok := pipecache.LookupBenchmark(name)
+		if !ok {
+			return nil, fmt.Errorf("benchmark %s missing", name)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := pipecache.BuildSuite(specs)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) int64 {
+		for i := 0; i < b.N; i++ {
+			p := pipecache.DefaultParams()
+			p.Insts = insts
+			p.TraceBudgetBytes = -1
+			lab, err := pipecache.NewLab(suite, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lab.SetObs(pipecache.NewRegistry())
+			if _, err := lab.PolicyStudy(4, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return 0
+	}, nil
+}
+
 // coordinatorBench stands up `shards` backend servers over fresh labs plus a
 // coordinator fanning merged reductions across them. Each iteration issues a
 // /v1/best with a fresh l2_time_ns, which misses every result cache on the
@@ -488,6 +524,13 @@ func main() {
 		Against:  ablReplayRec.Name,
 		Speedup:  ablLiveRec.NsPerOp / ablReplayRec.NsPerOp,
 	})
+
+	policyFn, err := policyStudyBench(*insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, run("BenchmarkPolicyStudy", policyFn))
 
 	cacheCfg := pipecache.CacheConfig{SizeKW: 8, BlockWords: 4, Assoc: 1, WriteBack: true}
 	rep.Benchmarks = append(rep.Benchmarks, run("BenchmarkCacheAccess/direct", func(b *testing.B) int64 {

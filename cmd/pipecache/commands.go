@@ -418,6 +418,12 @@ func runAblations(args []string) error {
 	}
 	fmt.Println(wp)
 
+	rp, err := lab.PolicyStudy(4, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rp)
+
 	btbs, err := lab.BTBSizeStudy([]int{64, 128, 256, 512, 1024, 4096})
 	if err != nil {
 		return err

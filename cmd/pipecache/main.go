@@ -30,13 +30,16 @@
 //	-progress      report live sweep progress (points done/total, ETA)
 //	-sweep-workers N  sweep/ablation pool size (default GOMAXPROCS)
 //	-trace-budget-mb N  event-trace store budget in MiB (0 = no replay tier)
+//	-policy s      cache replacement policy: lru (default), fifo, or plru
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"pipecache/internal/cache"
 	"pipecache/internal/core"
 	"pipecache/internal/obs"
 )
@@ -106,7 +109,8 @@ commands:
   tracegen   write a multiprogrammed reference trace
   timing     timing model summary (Table 6, floorplan)
   ablations  extension studies (associativity, block size, L2,
-             write policy, BTB capacity, profiling, quantum)
+             write policy, replacement policy, BTB capacity,
+             profiling, quantum)
   metrics    instrumented smoke run / snapshot viewer
   disasm     disassemble a synthesized benchmark
 
@@ -122,6 +126,7 @@ type cliOpts struct {
 	progress      *bool
 	sweepWorkers  *int
 	traceBudgetMB *int64
+	policy        *string
 }
 
 // commonFlags registers the shared flags on fs.
@@ -134,7 +139,20 @@ func commonFlags(fs *flag.FlagSet) *cliOpts {
 		sweepWorkers: fs.Int("sweep-workers", 0, "sweep/ablation worker-pool size (default GOMAXPROCS, 1 = serial)"),
 		traceBudgetMB: fs.Int64("trace-budget-mb", 256,
 			"event-trace store byte budget in MiB (0 disables the capture/replay tier)"),
+		policy: fs.String("policy", "", "cache replacement policy: lru (default), fifo, or plru"),
 	}
+}
+
+// applyPolicy parses the -policy flag into the lab parameters. The policy
+// is part of the params fingerprint, so a baked surface and the server
+// loading it must agree on this flag.
+func (o *cliOpts) applyPolicy(p *core.Params) error {
+	pol, err := cache.ParsePolicy(strings.ToLower(strings.TrimSpace(*o.policy)))
+	if err != nil {
+		return err
+	}
+	p.Policy = pol
+	return nil
 }
 
 // traceBudgetBytes maps the -trace-budget-mb flag onto Params semantics
@@ -163,6 +181,9 @@ func buildLab(o *cliOpts) (*core.Lab, error) {
 	p.Insts = *o.insts
 	p.SweepWorkers = *o.sweepWorkers
 	p.TraceBudgetBytes = o.traceBudgetBytes()
+	if err := o.applyPolicy(&p); err != nil {
+		return nil, err
+	}
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return nil, err

@@ -52,6 +52,9 @@ func runServe(args []string) error {
 	p.Insts = *o.insts
 	p.SweepWorkers = *o.sweepWorkers
 	p.TraceBudgetBytes = o.traceBudgetBytes()
+	if err := o.applyPolicy(&p); err != nil {
+		return err
+	}
 	lab, err := core.NewLab(suite, p)
 	if err != nil {
 		return err

@@ -24,6 +24,10 @@ type bankMeta struct {
 	lines     int32 // number of lines (sets * assoc)
 	ci        int32 // index of the configuration in the bank
 	writeBack bool
+	// Tree-PLRU only: offset of this configuration's per-set bit trees in
+	// the shared plru slab, and log2 of the associativity (the tree depth).
+	plruBase  int32
+	assocBits uint32
 }
 
 // Bank simulates a whole ladder of cache configurations in one probe.
@@ -44,9 +48,13 @@ type bankMeta struct {
 type Bank struct {
 	cfgs []Config
 
-	// Lane-packed groups plus the general-kernel leftovers.
-	packed []*packedGroup
-	meta   []bankMeta // general configurations only
+	// Lane-packed groups plus the general-kernel leftovers, routed to a
+	// policy-specific probe kernel at construction so LRU keeps its
+	// current per-probe cost and the other policies pay only their own.
+	packed   []*packedGroup
+	meta     []bankMeta // general LRU configurations
+	metaFIFO []bankMeta // general FIFO configurations
+	metaPLRU []bankMeta // general Tree-PLRU configurations
 	// wtDerived marks packed write-through lanes: every write probes every
 	// lane, so Throughs is exactly the bank-level write count and is
 	// derived in Stats instead of counted per probe.
@@ -75,6 +83,9 @@ type Bank struct {
 	dirty []bool
 	lru   []uint64
 	tick  uint64
+	// plru holds one Tree-PLRU bit-tree word per set of every metaPLRU
+	// configuration, indexed [meta.plruBase + set].
+	plru []uint64
 
 	stats []Stats
 	// reads and writes are bank-level access counters: every probe touches
@@ -155,11 +166,12 @@ func NewBank(cfgs []Config) (*Bank, error) {
 	}
 
 	total := 0
+	plruSets := 0
 	for _, ci := range general {
 		cfg := cfgs[ci]
 		sets := cfg.SizeKW * 1024 / (cfg.BlockWords * cfg.Assoc)
 		lines := sets * cfg.Assoc
-		b.meta = append(b.meta, bankMeta{
+		m := bankMeta{
 			blockBits: uint32(bits.TrailingZeros32(uint32(cfg.BlockWords))),
 			tagShift:  uint32(bits.TrailingZeros32(uint32(sets))),
 			setMask:   uint32(sets - 1),
@@ -168,7 +180,20 @@ func NewBank(cfgs []Config) (*Bank, error) {
 			lines:     int32(lines),
 			ci:        int32(ci),
 			writeBack: cfg.WriteBack,
-		})
+		}
+		// Route each configuration to its policy's kernel once, here, so the
+		// probe path never branches on policy.
+		switch cfg.Policy {
+		case PolicyFIFO:
+			b.metaFIFO = append(b.metaFIFO, m)
+		case PolicyTreePLRU:
+			m.plruBase = int32(plruSets)
+			m.assocBits = uint32(bits.TrailingZeros32(uint32(cfg.Assoc)))
+			plruSets += sets
+			b.metaPLRU = append(b.metaPLRU, m)
+		default:
+			b.meta = append(b.meta, m)
+		}
 		total += lines
 	}
 	if total > 0 {
@@ -176,7 +201,10 @@ func NewBank(cfgs []Config) (*Bank, error) {
 		b.dirty = mempool.Bools(total)
 		b.lru = mempool.Uint64s(total)
 	}
-	b.fullyPacked = len(b.meta) == 0 && len(b.packed) == 1
+	if plruSets > 0 {
+		b.plru = mempool.Uint64s(plruSets)
+	}
+	b.fullyPacked = b.AllPacked() && len(b.packed) == 1
 	return b, nil
 }
 
@@ -193,7 +221,9 @@ func (b *Bank) Config(i int) Config { return b.cfgs[i] }
 // AllPacked reports whether every configuration is covered by lane-packed
 // groups (the precondition for boundary-mode sharding, whose
 // reconciliation argument relies on the packed representation).
-func (b *Bank) AllPacked() bool { return len(b.meta) == 0 }
+func (b *Bank) AllPacked() bool {
+	return len(b.meta) == 0 && len(b.metaFIFO) == 0 && len(b.metaPLRU) == 0
+}
 
 // PackedGroups returns the number of lane-packed groups.
 func (b *Bank) PackedGroups() int { return len(b.packed) }
@@ -217,7 +247,11 @@ func (b *Bank) Release() {
 		mempool.PutUint64s(b.lru)
 		b.tags, b.dirty, b.lru = nil, nil, nil
 	}
-	b.meta = nil
+	if b.plru != nil {
+		mempool.PutUint64s(b.plru)
+		b.plru = nil
+	}
+	b.meta, b.metaFIFO, b.metaPLRU = nil, nil, nil
 }
 
 // Stats returns a copy of the i'th configuration's statistics.
@@ -309,6 +343,12 @@ func (b *Bank) probe(addr uint32, write bool, n uint64) uint64 {
 	}
 	if len(b.meta) != 0 {
 		miss |= b.probeGeneral(addr, write)
+	}
+	if len(b.metaFIFO) != 0 {
+		miss |= b.probeFIFO(addr, write)
+	}
+	if len(b.metaPLRU) != 0 {
+		miss |= b.probePLRU(addr, write)
 	}
 	return miss
 }
@@ -404,6 +444,154 @@ func (b *Bank) probeGeneral(addr uint32, write bool) uint64 {
 	return miss
 }
 
+// probeFIFO is probeGeneral for FIFO configurations: the lru slab holds
+// the fill tick instead of the last-use tick, so a hit refreshes nothing
+// and the strict-minimum victim scan evicts the oldest-filled way. The
+// move-to-front swap stays sound for the same reason as in probeGeneral —
+// the fill tick travels with the line, resident ticks are unique, and
+// ties arise only among interchangeable invalid lines.
+func (b *Bank) probeFIFO(addr uint32, write bool) uint64 {
+	b.tick++
+	var miss uint64
+	prevBits := uint32(0xffffffff)
+	var block uint32
+	for mi := range b.metaFIFO {
+		m := &b.metaFIFO[mi]
+		if m.blockBits != prevBits {
+			block = addr >> m.blockBits
+			prevBits = m.blockBits
+		}
+		set := block & m.setMask
+		vtag := uint64(block>>m.tagShift) | lineValid
+		ci := m.ci
+
+		base := int(m.base) + int(set)*int(m.assoc)
+		hit := false
+		for w := 0; w < int(m.assoc); w++ {
+			i := base + w
+			if b.tags[i] == vtag {
+				if w != 0 {
+					b.tags[i], b.tags[base] = b.tags[base], b.tags[i]
+					b.dirty[i], b.dirty[base] = b.dirty[base], b.dirty[i]
+					b.lru[i], b.lru[base] = b.lru[base], b.lru[i]
+					i = base
+				}
+				// FIFO: age is the fill time, so the hit leaves lru alone.
+				if write {
+					if m.writeBack {
+						b.dirty[i] = true
+					} else {
+						b.stats[ci].Throughs++
+					}
+				}
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		miss |= 1 << uint(ci)
+		st := &b.stats[ci]
+		if write {
+			st.WriteMisses++
+			if !m.writeBack {
+				st.Throughs++
+				continue
+			}
+		} else {
+			st.ReadMisses++
+		}
+		victim := base
+		for w := 1; w < int(m.assoc); w++ {
+			i := base + w
+			if b.lru[i] < b.lru[victim] {
+				victim = i
+			}
+		}
+		if b.dirty[victim] {
+			st.Writebacks++
+		}
+		b.dirty[victim] = write
+		b.tags[victim] = vtag
+		b.lru[victim] = b.tick
+	}
+	return miss
+}
+
+// probePLRU runs the Tree-PLRU kernel. No move-to-front here: the bit
+// tree addresses ways by position, so the permutation the LRU/FIFO
+// kernels rely on would desynchronize tree and contents.
+func (b *Bank) probePLRU(addr uint32, write bool) uint64 {
+	var miss uint64
+	prevBits := uint32(0xffffffff)
+	var block uint32
+	for mi := range b.metaPLRU {
+		m := &b.metaPLRU[mi]
+		if m.blockBits != prevBits {
+			block = addr >> m.blockBits
+			prevBits = m.blockBits
+		}
+		set := block & m.setMask
+		vtag := uint64(block>>m.tagShift) | lineValid
+		ci := m.ci
+
+		base := int(m.base) + int(set)*int(m.assoc)
+		tree := &b.plru[int(m.plruBase)+int(set)]
+		hit := -1
+		for w := 0; w < int(m.assoc); w++ {
+			if b.tags[base+w] == vtag {
+				hit = w
+				break
+			}
+		}
+		if hit >= 0 {
+			*tree = plruTouch(*tree, uint32(hit), m.assocBits)
+			if write {
+				if m.writeBack {
+					b.dirty[base+hit] = true
+				} else {
+					b.stats[ci].Throughs++
+				}
+			}
+			continue
+		}
+		miss |= 1 << uint(ci)
+		st := &b.stats[ci]
+		if write {
+			st.WriteMisses++
+			if !m.writeBack {
+				st.Throughs++
+				continue
+			}
+		} else {
+			st.ReadMisses++
+		}
+		// Fill the first empty way when one exists (every policy fills
+		// empty ways first), otherwise the way the bit tree selects. An
+		// invalid line's tag word is exactly 0 (resident tags carry
+		// lineValid).
+		victim := -1
+		for w := 0; w < int(m.assoc); w++ {
+			if b.tags[base+w] == 0 {
+				victim = w
+				break
+			}
+		}
+		if victim < 0 {
+			victim = int(plruVictim(*tree, m.assocBits))
+		}
+		i := base + victim
+		if b.dirty[i] {
+			st.Writebacks++
+		}
+		b.dirty[i] = write
+		b.tags[i] = vtag
+		*tree = plruTouch(*tree, uint32(victim), m.assocBits)
+	}
+	return miss
+}
+
 // Flush invalidates every line of every configuration, counting dirty
 // lines as writebacks, and leaves the other statistics alone.
 func (b *Bank) Flush() {
@@ -411,18 +599,26 @@ func (b *Bank) Flush() {
 		g.flush(b)
 	}
 	b.memoOK = false
-	for mi := range b.meta {
-		m := &b.meta[mi]
-		for i := int(m.base); i < int(m.base+m.lines); i++ {
-			if b.dirty[i] {
-				b.stats[m.ci].Writebacks++
+	for _, metas := range [][]bankMeta{b.meta, b.metaFIFO, b.metaPLRU} {
+		for mi := range metas {
+			m := &metas[mi]
+			for i := int(m.base); i < int(m.base+m.lines); i++ {
+				if b.dirty[i] {
+					b.stats[m.ci].Writebacks++
+				}
+				b.tags[i] = 0
+				b.dirty[i] = false
+				// Flushed lines drop to tag 0, clean, lru 0 — exactly the
+				// state of a never-filled line — so victim selection prefers
+				// them again and post-flush move-to-front ties only ever
+				// permute fully interchangeable ways (see probeGeneral).
+				b.lru[i] = 0
 			}
-			b.tags[i] = 0
-			b.dirty[i] = false
-			// Flushed lines drop to lru 0 so victim selection prefers
-			// them again, matching a freshly built bank.
-			b.lru[i] = 0
 		}
+	}
+	// Reset the replacement trees too, matching a freshly built bank.
+	for i := range b.plru {
+		b.plru[i] = 0
 	}
 }
 

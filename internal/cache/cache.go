@@ -1,7 +1,8 @@
 // Package cache implements the set-associative cache models of the
 // trace-driven simulator (the paper's cacheSIM): direct-mapped or
-// set-associative caches with LRU replacement, configurable block size, and
-// write-back or write-through write policies.
+// set-associative caches with a pluggable replacement policy (LRU by
+// default, plus FIFO and Tree-PLRU; see Policy), configurable block size,
+// and write-back or write-through write policies.
 //
 // All addresses and sizes are in 32-bit words, matching the paper's units
 // (cache sizes in K-words, block sizes of 4, 8 and 16 words).
@@ -25,6 +26,9 @@ type Config struct {
 	// WriteBack selects write-back with write-allocate when true, or
 	// write-through with no-write-allocate when false.
 	WriteBack bool
+	// Policy selects the replacement policy; the zero value is LRU (the
+	// paper's policy), so pre-existing configurations are unchanged.
+	Policy Policy
 }
 
 // Validate checks that the configuration is realizable: positive
@@ -44,6 +48,9 @@ func (c Config) Validate() error {
 	if c.BlockWords*c.Assoc > words {
 		return fmt.Errorf("cache: %d-word blocks x %d ways exceed %d-word capacity", c.BlockWords, c.Assoc, words)
 	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Policy)
+	}
 	return nil
 }
 
@@ -59,6 +66,11 @@ func (c Config) String() string {
 	if c.WriteBack {
 		pol = "write-back"
 	}
+	if c.Policy != PolicyLRU {
+		// Only non-default policies render, so pre-existing strings (and
+		// everything derived from them) are byte-identical.
+		return fmt.Sprintf("%dKW/%dW %s %s %s", c.SizeKW, c.BlockWords, org, pol, c.Policy)
+	}
 	return fmt.Sprintf("%dKW/%dW %s %s", c.SizeKW, c.BlockWords, org, pol)
 }
 
@@ -68,6 +80,9 @@ func (c Config) Label() string {
 	pol := "wt"
 	if c.WriteBack {
 		pol = "wb"
+	}
+	if c.Policy != PolicyLRU {
+		return fmt.Sprintf("%dkw-b%d-a%d-%s-%s", c.SizeKW, c.BlockWords, c.Assoc, pol, c.Policy)
 	}
 	return fmt.Sprintf("%dkw-b%d-a%d-%s", c.SizeKW, c.BlockWords, c.Assoc, pol)
 }
@@ -121,9 +136,12 @@ type Cache struct {
 	tags  []uint32
 	valid []bool
 	dirty []bool
-	// lruTick[i] holds the last-use timestamp for LRU selection.
+	// lruTick[i] holds the last-use timestamp for LRU selection; under
+	// FIFO it holds the fill timestamp instead (hits never refresh it).
 	lruTick []uint64
 	tick    uint64
+	// plru[set] is the per-set Tree-PLRU bit tree (unused otherwise).
+	plru []uint64
 
 	stats Stats
 }
@@ -136,7 +154,7 @@ func New(cfg Config) (*Cache, error) {
 	words := cfg.SizeKW * 1024
 	sets := words / (cfg.BlockWords * cfg.Assoc)
 	n := sets * cfg.Assoc
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		blockBits: uint(bits.TrailingZeros32(uint32(cfg.BlockWords))),
@@ -146,7 +164,11 @@ func New(cfg Config) (*Cache, error) {
 		valid:     make([]bool, n),
 		dirty:     make([]bool, n),
 		lruTick:   make([]uint64, n),
-	}, nil
+	}
+	if cfg.Policy == PolicyTreePLRU {
+		c.plru = make([]uint64, sets)
+	}
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -192,6 +214,11 @@ func (c *Cache) Flush() {
 		}
 		c.valid[i] = false
 		c.dirty[i] = false
+	}
+	// Reset the replacement trees too, matching a freshly built cache
+	// (and Bank.Flush): refills repopulate them deterministically.
+	for s := range c.plru {
+		c.plru[s] = 0
 	}
 }
 
@@ -246,7 +273,14 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 	for w := 0; w < c.cfg.Assoc; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == tag {
-			c.lruTick[i] = c.tick
+			switch c.cfg.Policy {
+			case PolicyLRU:
+				c.lruTick[i] = c.tick
+			case PolicyFIFO:
+				// FIFO age is the fill time; a hit changes nothing.
+			case PolicyTreePLRU:
+				c.plru[set] = plruTouch(c.plru[set], uint32(w), uint32(bits.TrailingZeros32(uint32(c.cfg.Assoc))))
+			}
 			if write {
 				if c.cfg.WriteBack {
 					c.dirty[i] = true
@@ -270,16 +304,26 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 		c.stats.ReadMisses++
 	}
 
-	// Allocate: pick the invalid or least-recently-used way.
-	victim := base
+	// Allocate: the first invalid way if one exists (every policy fills
+	// empty ways first), otherwise the policy's victim — oldest use for
+	// LRU, oldest fill for FIFO, or the way the bit tree selects.
+	victim := -1
 	for w := 0; w < c.cfg.Assoc; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
+		if !c.valid[base+w] {
+			victim = base + w
 			break
 		}
-		if c.lruTick[i] < c.lruTick[victim] {
-			victim = i
+	}
+	if victim < 0 {
+		if c.cfg.Policy == PolicyTreePLRU {
+			victim = base + int(plruVictim(c.plru[set], uint32(bits.TrailingZeros32(uint32(c.cfg.Assoc)))))
+		} else {
+			victim = base
+			for w := 1; w < c.cfg.Assoc; w++ {
+				if c.lruTick[base+w] < c.lruTick[victim] {
+					victim = base + w
+				}
+			}
 		}
 	}
 	res := Result{Fill: true}
@@ -291,6 +335,9 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 	c.dirty[victim] = write && c.cfg.WriteBack
 	c.tags[victim] = tag
 	c.lruTick[victim] = c.tick
+	if c.cfg.Policy == PolicyTreePLRU {
+		c.plru[set] = plruTouch(c.plru[set], uint32(victim-base), uint32(bits.TrailingZeros32(uint32(c.cfg.Assoc))))
+	}
 	return res
 }
 

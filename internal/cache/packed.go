@@ -64,8 +64,12 @@ func laneSets(cfg Config) uint32 {
 	return uint32(cfg.SizeKW * 1024 / (cfg.BlockWords * cfg.Assoc))
 }
 
-// packable reports whether a configuration can join a packed group.
-func packable(cfg Config) bool { return cfg.Assoc == 1 }
+// packable reports whether a configuration can join a packed group. Only
+// direct-mapped LRU lanes pack: at associativity 1 the policies are
+// indistinguishable, but routing non-LRU configurations to the general
+// kernels keeps every policy-labeled result answered by that policy's
+// own code path until packed variants exist.
+func packable(cfg Config) bool { return cfg.Assoc == 1 && cfg.Policy == PolicyLRU }
 
 // newPackedGroup builds one group over the configs at the given bank
 // indices (all packable, same block size and write policy).

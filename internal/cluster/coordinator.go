@@ -82,18 +82,10 @@ func (e *backpressureError) Error() string {
 	return fmt.Sprintf("cluster: shards saturated (retry after %ds)", e.retryAfter)
 }
 
-// clampRetryAfter bounds an advertised backoff to the same 1..30s contract
-// the backend pool honors (server.Pool.RetryAfterSeconds): shards are
-// trusted for routing, not for unbounded client backoff.
-func clampRetryAfter(sec int) int {
-	if sec < 1 {
-		return 1
-	}
-	if sec > 30 {
-		return 30
-	}
-	return sec
-}
+// Shard-advertised backoffs are re-bounded with server.ClampRetryAfter —
+// the single definition of the 1..30s Retry-After contract the backend
+// pool honors: shards are trusted for routing, not for unbounded client
+// backoff.
 
 // Config tunes the coordinator; zero values take the documented defaults.
 type Config struct {
@@ -602,7 +594,7 @@ func (c *Coordinator) relay(w http.ResponseWriter, r *http.Request, res *shardRe
 	}
 	if res.status == http.StatusTooManyRequests {
 		c.reg.Counter("cluster.backpressure").Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(clampRetryAfter(res.retryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(server.ClampRetryAfter(res.retryAfter)))
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(res.status)
@@ -634,7 +626,7 @@ func (c *Coordinator) writeUpstreamError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &bp):
 		c.reg.Counter("cluster.backpressure").Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(clampRetryAfter(bp.retryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(server.ClampRetryAfter(bp.retryAfter)))
 		http.Error(w, "shards saturated; retry later", http.StatusTooManyRequests)
 	case errors.Is(err, errNoShards):
 		http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
@@ -713,7 +705,7 @@ func (c *Coordinator) handleSweepRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, outcome, err := c.cache.Do(r.Context(), server.RequestKey("sweep-range", req), func(ctx context.Context) ([]byte, error) {
-		pts, ferr := c.fanoutPoints(ctx, req.L2TimeNs, req.Lo, req.Hi)
+		pts, ferr := c.fanoutPoints(ctx, req, req.Lo, req.Hi)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -737,7 +729,7 @@ func (c *Coordinator) mergedBest(ctx context.Context, req server.BestRequest) ([
 	if err != nil {
 		return nil, err
 	}
-	pts, err := c.fanoutPoints(ctx, req.L2TimeNs, 0, len(c.space))
+	pts, err := c.fanoutPoints(ctx, server.SweepRangeRequest{L2TimeNs: req.L2TimeNs, Policy: req.Policy}, 0, len(c.space))
 	if err != nil {
 		return nil, err
 	}

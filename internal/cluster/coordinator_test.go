@@ -135,6 +135,65 @@ func TestRetryAfterAggregationClamped(t *testing.T) {
 	}
 }
 
+// TestRetryAfterMalformedShardHeaders pins the shared-clamp contract
+// (server.ClampRetryAfter) against hostile or broken shards: whatever a
+// shard puts in its 429 Retry-After header — nothing at all, "0", a
+// negative number, or garbage — the coordinator forwards a value inside
+// the 1..30s window on both the proxy and the fan-out paths.
+func TestRetryAfterMalformedShardHeaders(t *testing.T) {
+	cases := []struct {
+		name, header string
+		want         int
+	}{
+		{"missing", "", 1},
+		{"zero", "0", 1},
+		{"negative", "-5", 1},
+		{"garbage", "soon", 1},
+		{"huge", "86400", 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			saturated := func(w http.ResponseWriter, r *http.Request) {
+				if tc.header != "" {
+					w.Header().Set("Retry-After", tc.header)
+				}
+				http.Error(w, "busy", http.StatusTooManyRequests)
+			}
+			f := newFakeShard(t, saturated)
+			c := testCoordinator(t, Config{HedgeAfter: time.Hour}, f)
+			ts := httptest.NewServer(c.Handler())
+			defer ts.Close()
+
+			for _, q := range []struct{ method, path, body string }{
+				{http.MethodGet, "/v1/tables/1", ""},                // proxy/relay path
+				{http.MethodPost, "/v1/best", `{"loads":"static"}`}, // fan-out path
+			} {
+				var (
+					resp *http.Response
+					err  error
+				)
+				if q.method == http.MethodPost {
+					resp, err = http.Post(ts.URL+q.path, "application/json", strings.NewReader(q.body))
+				} else {
+					resp, err = http.Get(ts.URL + q.path)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusTooManyRequests {
+					t.Fatalf("%s: status %d, want 429", q.path, resp.StatusCode)
+				}
+				if got := mustAtoi(t, resp.Header.Get("Retry-After")); got != tc.want {
+					t.Errorf("%s: Retry-After = %d, want %d for shard header %q",
+						q.path, got, tc.want, tc.header)
+				}
+			}
+		})
+	}
+}
+
 func mustAtoi(t *testing.T, s string) int {
 	t.Helper()
 	n, err := strconv.Atoi(s)

@@ -108,10 +108,21 @@ func crossProduct() []apiRequest {
 	for n := 1; n <= 6; n++ {
 		rs = append(rs, apiRequest{http.MethodGet, fmt.Sprintf("/v1/tables/%d", n), ""})
 	}
+	// The replacement-policy axis: one FIFO and one Tree-PLRU request per
+	// shape, plus an explicit "lru" that must canonicalize onto the
+	// pre-policy key and bytes (the policy-seam extension of this suite).
+	rs = append(rs,
+		apiRequest{http.MethodPost, "/v1/simulate", `{"b":2,"l":3,"isize_kw":4,"dsize_kw":4,"policy":"fifo"}`},
+		apiRequest{http.MethodPost, "/v1/simulate", `{"b":2,"l":3,"isize_kw":4,"dsize_kw":4,"policy":"plru"}`},
+		apiRequest{http.MethodPost, "/v1/simulate", `{"b":2,"l":3,"isize_kw":4,"dsize_kw":4,"policy":"lru"}`},
+		apiRequest{http.MethodPost, "/v1/best", `{"loads":"static","policy":"fifo"}`},
+	)
 	for _, r := range [][2]int{{0, 1}, {0, 96}, {100, 1152}, {0, 1152}} {
 		rs = append(rs, apiRequest{http.MethodPost, "/v1/sweep-range",
 			fmt.Sprintf(`{"lo":%d,"hi":%d}`, r[0], r[1])})
 	}
+	rs = append(rs,
+		apiRequest{http.MethodPost, "/v1/sweep-range", `{"lo":0,"hi":96,"policy":"plru"}`})
 	return rs
 }
 

@@ -51,7 +51,11 @@ func partitionSpans(missing []span, k int) []rangeJob {
 
 // fanoutPoints evaluates [lo, hi) of the canonical enumeration across the
 // fleet and returns the hi-lo points in enumeration order — the merged
-// equivalent of one backend's /v1/sweep-range answer.
+// equivalent of one backend's /v1/sweep-range answer. tpl is the
+// normalized request whose non-range coordinates (L2 time, replacement
+// policy) every leg must inherit; each leg overwrites Lo/Hi with its own
+// span, so the legs of one fan-out agree on every other knob by
+// construction.
 //
 // Each round partitions the still-missing spans contiguously across the
 // healthy shards (index order) and issues the legs concurrently, each leg
@@ -61,7 +65,7 @@ func partitionSpans(missing []span, k int) []rangeJob {
 // failed round shrinks the healthy set and a fleet-sized round count bounds
 // it. Shard backpressure short-circuits: one 429 makes the whole fan-out a
 // 429 carrying the maximum Retry-After observed this round.
-func (c *Coordinator) fanoutPoints(ctx context.Context, l2TimeNs float64, lo, hi int) ([]server.RangePoint, error) {
+func (c *Coordinator) fanoutPoints(ctx context.Context, tpl server.SweepRangeRequest, lo, hi int) ([]server.RangePoint, error) {
 	out := make([]server.RangePoint, hi-lo)
 	missing := []span{{lo, hi}}
 	for round := 0; len(missing) > 0; round++ {
@@ -92,7 +96,7 @@ func (c *Coordinator) fanoutPoints(ctx context.Context, l2TimeNs float64, lo, hi
 			wg.Add(1)
 			go func(i int, j rangeJob) {
 				defer wg.Done()
-				res, err := c.rangeLeg(ctx, healthy, j, l2TimeNs)
+				res, err := c.rangeLeg(ctx, healthy, j, tpl)
 				results[i] = legResult{job: j, res: res, err: err}
 			}(i, j)
 		}
@@ -128,7 +132,7 @@ func (c *Coordinator) fanoutPoints(ctx context.Context, l2TimeNs float64, lo, hi
 			}
 		}
 		if backpressured {
-			return nil, &backpressureError{retryAfter: clampRetryAfter(retryAfter)}
+			return nil, &backpressureError{retryAfter: server.ClampRetryAfter(retryAfter)}
 		}
 		missing = next
 	}
@@ -138,8 +142,9 @@ func (c *Coordinator) fanoutPoints(ctx context.Context, l2TimeNs float64, lo, hi
 // rangeLeg runs one sub-range request on its owning shard, hedging onto the
 // later shards of the round in index order. No failover on error: the round
 // loop's deterministic re-partition is the recovery path for a lost leg.
-func (c *Coordinator) rangeLeg(ctx context.Context, healthy []*Shard, j rangeJob, l2TimeNs float64) (*shardResult, error) {
-	body, err := json.Marshal(server.SweepRangeRequest{Lo: j.sp.lo, Hi: j.sp.hi, L2TimeNs: l2TimeNs})
+func (c *Coordinator) rangeLeg(ctx context.Context, healthy []*Shard, j rangeJob, tpl server.SweepRangeRequest) (*shardResult, error) {
+	tpl.Lo, tpl.Hi = j.sp.lo, j.sp.hi
+	body, err := json.Marshal(tpl)
 	if err != nil {
 		return nil, err
 	}

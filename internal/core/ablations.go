@@ -546,6 +546,104 @@ func (r *QuantumStudyResult) String() string {
 	return t.String()
 }
 
+// PolicyRow is one (policy, size) point of the replacement-policy study.
+type PolicyRow struct {
+	Policy    cache.Policy
+	SizeKW    int
+	MissRatio float64 // combined L1 miss ratio
+	CPI       float64
+	TPINs     float64
+}
+
+// PolicyStudyResult compares replacement policies across the size ladder
+// at a fixed set-associative geometry — the ablation the related work
+// names (DEW's FIFO simulation, Alipour et al.'s policy design-space
+// exploration). Direct-mapped caches have no replacement choice, so the
+// study runs the bank at the given associativity.
+type PolicyStudyResult struct {
+	Assoc int
+	Depth int
+	Rows  []PolicyRow
+}
+
+// PolicyStudy sweeps LRU, FIFO and Tree-PLRU over the size ladder at the
+// given associativity and pipeline depth, one pooled pass per policy.
+func (l *Lab) PolicyStudy(assoc, depth int) (*PolicyStudyResult, error) {
+	policies := []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyTreePLRU}
+	res := &PolicyStudyResult{Assoc: assoc, Depth: depth}
+	rowsByPolicy := make([][]PolicyRow, len(policies))
+	err := l.forEach(context.Background(), len(policies), func(ctx context.Context, pi int) error {
+		pol := policies[pi]
+		var bank []cache.Config
+		for _, s := range l.P.SizesKW {
+			bank = append(bank, cache.Config{
+				SizeKW: s, BlockWords: l.P.BlockWords, Assoc: assoc, WriteBack: true, Policy: pol,
+			})
+		}
+		pass, err := l.RunPassContext(ctx, cpisim.Config{
+			BranchSlots: depth,
+			ICaches:     bank,
+			DCaches:     bank,
+		})
+		if err != nil {
+			return err
+		}
+		rows := make([]PolicyRow, 0, len(l.P.SizesKW))
+		for si, s := range l.P.SizesKW {
+			tcpu, err := l.P.Model.TCPUAssoc(s, depth, assoc)
+			if err != nil {
+				return err
+			}
+			pen := l.P.PenaltyCycles(tcpu)
+			cpi, err := pass.CPIFor(depth, cpisim.LoadStatic, si, si, pen, pen)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, PolicyRow{
+				Policy:    pol,
+				SizeKW:    s,
+				MissRatio: (pass.IMissRatio(si) + pass.DMissRatio(si)) / 2,
+				CPI:       cpi,
+				TPINs:     cpi * tcpu,
+			})
+		}
+		rowsByPolicy[pi] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsByPolicy {
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// Best returns the lowest-CPI policy at the given size.
+func (r *PolicyStudyResult) Best(sizeKW int) PolicyRow {
+	best := PolicyRow{CPI: 1e18}
+	for _, row := range r.Rows {
+		if row.SizeKW == sizeKW && row.CPI < best.CPI {
+			best = row
+		}
+	}
+	return best
+}
+
+// String renders the study.
+func (r *PolicyStudyResult) String() string {
+	t := tablefmt.New(
+		fmt.Sprintf("Ablation: replacement policy (%d-way, depth %d)", r.Assoc, r.Depth),
+		"Policy", "Size (KW)", "Miss ratio", "CPI", "TPI (ns)")
+	for _, row := range r.Rows {
+		t.Row(row.Policy.String(), row.SizeKW,
+			fmt.Sprintf("%.4f", row.MissRatio),
+			fmt.Sprintf("%.3f", row.CPI),
+			fmt.Sprintf("%.2f", row.TPINs))
+	}
+	return t.String()
+}
+
 // StabilityRow is one seed's headline result.
 type StabilityRow struct {
 	SeedOffset uint64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pipecache/internal/cache"
 	"pipecache/internal/cpisim"
 )
 
@@ -99,12 +100,19 @@ func (l *Lab) EvalPoint(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l
 
 // EvalPointContext is EvalPoint with cooperative cancellation.
 func (l *Lab) EvalPointContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64) (TPIPoint, Breakdown, error) {
+	return l.EvalPointPolicyContext(ctx, b, ld, iSizeKW, dSizeKW, scheme, l2TimeNs, l.P.Policy)
+}
+
+// EvalPointPolicyContext is EvalPointContext with an explicit replacement
+// policy: the per-request policy override of /v1/simulate resolves here,
+// against the (depth, policy)-memoized pass.
+func (l *Lab) EvalPointPolicyContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64, pol cache.Policy) (TPIPoint, Breakdown, error) {
 	var bd Breakdown
-	pt, err := l.TPIContext(ctx, b, ld, iSizeKW, dSizeKW, scheme, l2TimeNs)
+	pt, err := l.TPIPolicyContext(ctx, b, ld, iSizeKW, dSizeKW, scheme, l2TimeNs, pol)
 	if err != nil {
 		return pt, bd, err
 	}
-	pass, err := l.StaticPassContext(ctx, b)
+	pass, err := l.StaticPassPolicyContext(ctx, b, pol)
 	if err != nil {
 		return pt, bd, err
 	}
@@ -163,6 +171,15 @@ func (l *Lab) EvalDesignSpaceContext(ctx context.Context, l2TimeNs float64) ([]P
 // single-node server and the surface baker share — so sharded and unsharded
 // evaluations cannot drift.
 func (l *Lab) EvalDesignRangeContext(ctx context.Context, l2TimeNs float64, lo, hi int) ([]PointEval, error) {
+	return l.EvalDesignRangePolicyContext(ctx, l2TimeNs, l.P.Policy, lo, hi)
+}
+
+// EvalDesignRangePolicyContext is EvalDesignRangeContext with an explicit
+// replacement policy. The policy is a per-request coordinate like the
+// miss-service time, not a dimension of the canonical enumeration: the
+// point order (and so the coordinator's sub-range merge) is identical for
+// every policy, only the per-point results differ.
+func (l *Lab) EvalDesignRangePolicyContext(ctx context.Context, l2TimeNs float64, pol cache.Policy, lo, hi int) ([]PointEval, error) {
 	pts := DesignSpace(l.P)
 	if lo < 0 || hi > len(pts) || lo > hi {
 		return nil, fmt.Errorf("core: design range [%d, %d) outside the %d-point space", lo, hi, len(pts))
@@ -172,11 +189,11 @@ func (l *Lab) EvalDesignRangeContext(ctx context.Context, l2TimeNs float64, lo, 
 	defer l.progress.Finish()
 	err := l.forEach(ctx, hi-lo, func(ctx context.Context, i int) error {
 		dp := pts[lo+i]
-		tp, bd, err := l.EvalPointContext(ctx, dp.B, dp.L, dp.ISizeKW, dp.DSizeKW, dp.Scheme, l2TimeNs)
+		tp, bd, err := l.EvalPointPolicyContext(ctx, dp.B, dp.L, dp.ISizeKW, dp.DSizeKW, dp.Scheme, l2TimeNs, pol)
 		if err != nil {
 			return err
 		}
-		pass, err := l.StaticPassContext(ctx, dp.B)
+		pass, err := l.StaticPassPolicyContext(ctx, dp.B, pol)
 		if err != nil {
 			return err
 		}
@@ -215,6 +232,12 @@ func Fingerprint(s *Suite, p Params) string {
 	fmt.Fprintf(&sb, "psf-fingerprint/v1\n")
 	fmt.Fprintf(&sb, "insts=%d quantum=%d block=%d l2ns=%g seedoff=%#x\n",
 		p.Insts, p.Quantum, p.BlockWords, p.L2TimeNs, p.SeedOffset)
+	if p.Policy != cache.PolicyLRU {
+		// Appended only for non-default policies so every pre-policy
+		// fingerprint (and the params-hash of every already-baked surface)
+		// is byte-identical.
+		fmt.Fprintf(&sb, "policy=%s\n", p.Policy)
+	}
 	fmt.Fprintf(&sb, "sizes=%v penalties=%v\n", p.SizesKW, p.Penalties)
 	m := p.Model
 	fmt.Fprintf(&sb, "model=sram:%d,%g mcm:%g,%g,%g,%g,%g,%g alu:%g,%g latch:%g drive:%g\n",

@@ -71,6 +71,11 @@ func goldenOutput(t *testing.T, l *Lab, name string) string {
 		add(m, err)
 		asym, err := l.AsymmetryStudy(l.P.L2TimeNs)
 		add(asym, err)
+	case "policy":
+		// The replacement-policy ablation gets its own golden file so the
+		// pre-existing views stay byte-identical to their pre-policy
+		// snapshots (an acceptance criterion of the policy layer).
+		add(l.PolicyStudy(4, 2))
 	default:
 		t.Fatalf("unknown golden view %q", name)
 	}
@@ -81,7 +86,7 @@ func goldenOutput(t *testing.T, l *Lab, name string) string {
 // against the committed snapshots.
 func TestGolden(t *testing.T) {
 	l := getLab(t)
-	for _, name := range []string{"tables", "figures", "sweep"} {
+	for _, name := range []string{"tables", "figures", "sweep", "policy"} {
 		t.Run(name, func(t *testing.T) {
 			got := goldenOutput(t, l, name)
 			path := filepath.Join("testdata", "golden", name+".txt")

@@ -60,6 +60,14 @@ type Params struct {
 	// study uses it to check that conclusions do not depend on one
 	// particular random run.
 	SeedOffset uint64
+	// Policy is the cache replacement policy of the standard banks. The
+	// zero value is LRU (the paper's policy); FIFO and Tree-PLRU open the
+	// policy axis of the ablation studies. Direct-mapped configurations
+	// behave identically under every policy, so the default design space
+	// (associativity 1) is policy-invariant by construction — the knob
+	// matters to the set-associative ablations and to per-request policy
+	// overrides at the serving layer.
+	Policy cache.Policy
 	// SweepWorkers bounds the worker pool used by the design-space sweeps
 	// and the uncached ablation passes (each point is an independent
 	// simulation, so they parallelize cleanly). Zero means GOMAXPROCS; one
@@ -163,6 +171,7 @@ type Lab struct {
 type passKey struct {
 	b      int
 	scheme cpisim.BranchScheme
+	policy cache.Policy
 }
 
 // passEntry single-flights one memoized pass: concurrent requests for the
@@ -224,8 +233,9 @@ func (l *Lab) Obs() *obs.Registry { return l.obs }
 // report phase totals, points done, and an ETA through it.
 func (l *Lab) SetProgress(p *obs.Progress) { l.progress = p }
 
-// cacheBank builds one cache.Config per size with the default block size.
-func (l *Lab) cacheBank() []cache.Config {
+// cacheBank builds one cache.Config per size with the default block size
+// and the given replacement policy.
+func (l *Lab) cacheBank(pol cache.Policy) []cache.Config {
 	bank := make([]cache.Config, len(l.P.SizesKW))
 	for i, s := range l.P.SizesKW {
 		bank[i] = cache.Config{
@@ -233,6 +243,7 @@ func (l *Lab) cacheBank() []cache.Config {
 			BlockWords: l.P.BlockWords,
 			Assoc:      1, // the paper's L1 is direct-mapped
 			WriteBack:  true,
+			Policy:     pol,
 		}
 	}
 	return bank
@@ -259,7 +270,15 @@ func (l *Lab) StaticPass(b int) (*cpisim.Result, error) {
 // StaticPassContext is StaticPass with cooperative cancellation: ctx aborts
 // both waiting for an in-flight pass and the pass's own simulation loop.
 func (l *Lab) StaticPassContext(ctx context.Context, b int) (*cpisim.Result, error) {
-	return l.passContext(ctx, passKey{b: b, scheme: cpisim.BranchStatic})
+	return l.StaticPassPolicyContext(ctx, b, l.P.Policy)
+}
+
+// StaticPassPolicyContext is StaticPassContext with an explicit
+// replacement policy for the cache banks, memoized per (depth, policy).
+// The serving layer uses it to answer per-request policy overrides
+// without rebuilding the lab.
+func (l *Lab) StaticPassPolicyContext(ctx context.Context, b int, pol cache.Policy) (*cpisim.Result, error) {
+	return l.passContext(ctx, passKey{b: b, scheme: cpisim.BranchStatic, policy: pol})
 }
 
 // BTBPass runs (or returns the memoized) simulation of the BTB
@@ -271,7 +290,7 @@ func (l *Lab) BTBPass() (*cpisim.Result, error) {
 
 // BTBPassContext is BTBPass with cooperative cancellation.
 func (l *Lab) BTBPassContext(ctx context.Context) (*cpisim.Result, error) {
-	return l.passContext(ctx, passKey{b: 0, scheme: cpisim.BranchBTB})
+	return l.passContext(ctx, passKey{b: 0, scheme: cpisim.BranchBTB, policy: l.P.Policy})
 }
 
 // isCtxErr reports whether err is a context cancellation or deadline.
@@ -318,8 +337,8 @@ func (l *Lab) passContext(ctx context.Context, k passKey) (*cpisim.Result, error
 			BranchSlots:  k.b,
 			BranchScheme: k.scheme,
 			LoadSlots:    0,
-			ICaches:      l.cacheBank(),
-			DCaches:      l.cacheBank(),
+			ICaches:      l.cacheBank(k.policy),
+			DCaches:      l.cacheBank(k.policy),
 			Quantum:      l.P.Quantum,
 		}
 		e.res, e.err = l.runInstrumented(ctx, cfg, "lab.passes_run")
@@ -391,10 +410,10 @@ func (l *Lab) runWorkloads(ctx context.Context, cfg cpisim.Config, ws []cpisim.W
 }
 
 // traceKey identifies one workload set's event streams. Deliberately
-// absent: branch scheme and slots, load scheme, cache geometry, profiles,
-// and the quantum — the interpreter never sees any of them (the stream
-// invariance contract in internal/interp), so one capture serves every
-// configuration the studies sweep.
+// absent: branch scheme and slots, load scheme, cache geometry,
+// replacement policy, profiles, and the quantum — the interpreter never
+// sees any of them (the stream invariance contract in internal/interp),
+// so one capture serves every configuration the studies sweep.
 func (l *Lab) traceKey(ws []cpisim.Workload) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "insts=%d", l.P.Insts)
@@ -483,11 +502,11 @@ func (l *Lab) runOrReplay(ctx context.Context, cfg cpisim.Config, ws []cpisim.Wo
 // completion order.
 func (l *Lab) Prewarm() error {
 	keys := []passKey{
-		{b: 0, scheme: cpisim.BranchStatic},
-		{b: 1, scheme: cpisim.BranchStatic},
-		{b: 2, scheme: cpisim.BranchStatic},
-		{b: 3, scheme: cpisim.BranchStatic},
-		{b: 0, scheme: cpisim.BranchBTB},
+		{b: 0, scheme: cpisim.BranchStatic, policy: l.P.Policy},
+		{b: 1, scheme: cpisim.BranchStatic, policy: l.P.Policy},
+		{b: 2, scheme: cpisim.BranchStatic, policy: l.P.Policy},
+		{b: 3, scheme: cpisim.BranchStatic, policy: l.P.Policy},
+		{b: 0, scheme: cpisim.BranchBTB, policy: l.P.Policy},
 	}
 	l.progress.StartPhase("simulation passes", int64(len(keys)))
 	errs := make([]error, len(keys))

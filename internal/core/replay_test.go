@@ -175,8 +175,8 @@ func TestReplayTierOversizeFallback(t *testing.T) {
 	// tombstone path (live fallback without capture) is exercised too.
 	second, err := tinyLab.RunPass(cpisim.Config{
 		BranchSlots: 1,
-		ICaches:     tinyLab.cacheBank(),
-		DCaches:     tinyLab.cacheBank(),
+		ICaches:     tinyLab.cacheBank(tinyLab.P.Policy),
+		DCaches:     tinyLab.cacheBank(tinyLab.P.Policy),
 		Quantum:     tinyLab.P.Quantum,
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"pipecache/internal/cache"
 	"pipecache/internal/cpisim"
 	"pipecache/internal/tablefmt"
 )
@@ -38,6 +39,13 @@ func (l *Lab) TPI(b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeN
 // TPIContext is TPI with cooperative cancellation: ctx aborts the
 // underlying simulation pass (or the wait for a concurrent one).
 func (l *Lab) TPIContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64) (TPIPoint, error) {
+	return l.TPIPolicyContext(ctx, b, ld, iSizeKW, dSizeKW, scheme, l2TimeNs, l.P.Policy)
+}
+
+// TPIPolicyContext is TPIContext with an explicit replacement policy; the
+// serving layer uses it to answer per-request policy overrides against
+// the matching memoized pass.
+func (l *Lab) TPIPolicyContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, scheme cpisim.LoadScheme, l2TimeNs float64, pol cache.Policy) (TPIPoint, error) {
 	l.obs.Counter("lab.tpi_points").Inc()
 	p := TPIPoint{B: b, L: ld, ISizeKW: iSizeKW, DSizeKW: dSizeKW, LoadScheme: scheme}
 	tcpu, err := l.P.Model.TCPUSplit(iSizeKW, b, dSizeKW, ld)
@@ -47,7 +55,7 @@ func (l *Lab) TPIContext(ctx context.Context, b, ld, iSizeKW, dSizeKW int, schem
 	p.TCPUNs = tcpu
 	p.PenCycles = penaltyCyclesFor(l2TimeNs, tcpu)
 
-	pass, err := l.StaticPassContext(ctx, b)
+	pass, err := l.StaticPassPolicyContext(ctx, b, pol)
 	if err != nil {
 		return p, err
 	}
@@ -154,6 +162,12 @@ func (l *Lab) BestDesign(l2TimeNs float64, scheme cpisim.LoadScheme, symmetric b
 // enumeration order, which preserves the serial sweep's earliest-wins
 // tie-break at every worker count.
 func (l *Lab) BestDesignContext(ctx context.Context, l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool) (*Optimum, error) {
+	return l.BestDesignPolicyContext(ctx, l2TimeNs, scheme, symmetric, l.P.Policy)
+}
+
+// BestDesignPolicyContext is BestDesignContext with an explicit
+// replacement policy for the cache banks.
+func (l *Lab) BestDesignPolicyContext(ctx context.Context, l2TimeNs float64, scheme cpisim.LoadScheme, symmetric bool, pol cache.Policy) (*Optimum, error) {
 	type candidate struct {
 		b, ld, iSize, dSize int
 	}
@@ -178,7 +192,7 @@ func (l *Lab) BestDesignContext(ctx context.Context, l2TimeNs float64, scheme cp
 	pts := make([]TPIPoint, len(cands))
 	err := l.forEach(ctx, len(cands), func(ctx context.Context, i int) error {
 		c := cands[i]
-		pt, err := l.TPIContext(ctx, c.b, c.ld, c.iSize, c.dSize, scheme, l2TimeNs)
+		pt, err := l.TPIPolicyContext(ctx, c.b, c.ld, c.iSize, c.dSize, scheme, l2TimeNs, pol)
 		if err != nil {
 			return err
 		}

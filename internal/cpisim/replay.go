@@ -27,6 +27,22 @@ func (s *Sim) SetCapture(rec *trace.Recorder) {
 	}
 }
 
+// checkTraceLive rejects a nil or fully released trace before any of its
+// chunks are touched. Compiled chunk plans (plan.go) key on column slices
+// whose backing chunks recycle to the pool at the last Release; replaying
+// a dead trace would deliver plans — and raw columns — against memory the
+// pool may already have handed to someone else, a silent use-after-release.
+// The refcount makes that a clean error instead.
+func checkTraceLive(tr *trace.EventTrace) error {
+	if tr == nil {
+		return fmt.Errorf("cpisim: nil trace")
+	}
+	if tr.Refs() <= 0 {
+		return fmt.Errorf("cpisim: trace %q already released (refs=%d); its chunks may be recycled", tr.Key(), tr.Refs())
+	}
+	return nil
+}
+
 // Replay is ReplayContext without cancellation.
 func (s *Sim) Replay(instsPerBench int64, tr *trace.EventTrace) (*Result, error) {
 	return s.ReplayContext(context.Background(), instsPerBench, tr)
@@ -48,8 +64,8 @@ func (s *Sim) ReplayContext(ctx context.Context, instsPerBench int64, tr *trace.
 	if instsPerBench <= 0 {
 		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
 	}
-	if tr == nil {
-		return nil, fmt.Errorf("cpisim: nil trace")
+	if err := checkTraceLive(tr); err != nil {
+		return nil, err
 	}
 	names := make([]string, len(s.benches))
 	seeds := make([]uint64, len(s.benches))

@@ -1,0 +1,153 @@
+package cpisim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pipecache/internal/cache"
+)
+
+// policyLadder is a small mixed ladder under one replacement policy.
+func policyLadder(pol cache.Policy) []cache.Config {
+	return []cache.Config{
+		{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: true, Policy: pol},
+		{SizeKW: 2, BlockWords: 4, Assoc: 2, WriteBack: true, Policy: pol},
+		{SizeKW: 1, BlockWords: 4, Assoc: 1, WriteBack: false, Policy: pol},
+	}
+}
+
+// TestReplayAfterReleaseRejected is the plan-lifetime regression: compiled
+// replay plans key on column slices whose backing chunks recycle to the
+// mempool at the trace's final Release, so replaying a released trace
+// must fail cleanly instead of delivering plans against recycled memory.
+func TestReplayAfterReleaseRejected(t *testing.T) {
+	ws := replayWorkloads(t)
+	const insts = 8_000
+	cfg := Config{ICaches: []cache.Config{icfg()}, DCaches: []cache.Config{icfg()}, Quantum: 2_000}
+	_, tr := captureTrace(t, cfg, ws, insts)
+
+	// A live trace replays fine (and compiles plans onto its Aux cache).
+	sim, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Replay(insts, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// An extra Retain/Release pair keeps it live: replay must still work.
+	tr.Retain()
+	tr.Release()
+	sim2, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim2.Replay(insts, tr); err != nil {
+		t.Fatalf("replay of a retained trace failed: %v", err)
+	}
+
+	// The final Release recycles the chunks; both replay entry points must
+	// reject the dead trace before touching them.
+	tr.Release()
+	if tr.Refs() != 0 {
+		t.Fatalf("refs = %d after final release", tr.Refs())
+	}
+	fresh, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fresh.Replay(insts, tr)
+	if err == nil {
+		t.Fatal("sequential replay accepted a released trace")
+	}
+	if !strings.Contains(err.Error(), "released") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	fresh2, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh2.ReplaySharded(insts, tr, 4); err == nil {
+		t.Fatal("sharded replay accepted a released trace")
+	}
+}
+
+// TestShardedReplayPolicyConfigs extends the sharded differential suite
+// to FIFO and Tree-PLRU: non-LRU configurations never lane-pack, so they
+// sit outside the boundary-mode gate and must take the transparent
+// sequential fallback — and the results must stay bit-identical to a live
+// pass and to the sequential replay at every worker count.
+func TestShardedReplayPolicyConfigs(t *testing.T) {
+	ws := replayWorkloads(t)
+	const insts = 8_000
+	_, tr := captureTrace(t, Config{Quantum: 1_000}, ws, insts)
+	defer tr.Release()
+
+	for _, pol := range []cache.Policy{cache.PolicyFIFO, cache.PolicyTreePLRU} {
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := Config{BranchSlots: 2, LoadSlots: 1,
+				ICaches: policyLadder(pol), DCaches: policyLadder(pol), Quantum: 1_000}
+
+			// Live reference: a fresh interpretation of the same workloads.
+			liveSim, err := New(cfg, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := liveSim.Run(insts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want, wantI, wantD, _ := sequentialReplay(t, cfg, ws, insts, tr)
+			if !reflect.DeepEqual(want.Benches, live.Benches) {
+				t.Fatalf("%v sequential replay differs from live run", pol)
+			}
+
+			gateSim, err := New(cfg, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gateSim.shardableReplay() {
+				t.Fatalf("%v configuration unexpectedly inside the sharded gate", pol)
+			}
+
+			for _, workers := range []int{1, 2, 3, 8} {
+				sim, err := New(cfg, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.ReplaySharded(insts, tr, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: result differs from sequential", workers)
+				}
+				if gotI := bankStats(sim.ibank, len(cfg.ICaches)); !reflect.DeepEqual(gotI, wantI) {
+					t.Errorf("workers=%d: merged I-bank stats differ", workers)
+				}
+				if gotD := bankStats(sim.dbank, len(cfg.DCaches)); !reflect.DeepEqual(gotD, wantD) {
+					t.Errorf("workers=%d: merged D-bank stats differ", workers)
+				}
+			}
+		})
+	}
+
+	// A direct-mapped non-LRU ladder is policy-equivalent to LRU but must
+	// still be excluded from the gate (its results are answered by the
+	// general kernels, not the packed boundary machinery).
+	t.Run("fifo-direct-mapped-gate", func(t *testing.T) {
+		var cfgs []cache.Config
+		for _, s := range []int{1, 2} {
+			cfgs = append(cfgs, cache.Config{SizeKW: s, BlockWords: 4, Assoc: 1, WriteBack: true, Policy: cache.PolicyFIFO})
+		}
+		sim, err := New(Config{ICaches: cfgs, DCaches: cfgs, Quantum: 1_000}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.shardableReplay() {
+			t.Fatal("direct-mapped FIFO bank unexpectedly inside the sharded gate")
+		}
+	})
+}

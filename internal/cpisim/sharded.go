@@ -430,8 +430,8 @@ func (s *Sim) ReplayShardedContext(ctx context.Context, instsPerBench int64, tr 
 	if instsPerBench <= 0 {
 		return nil, fmt.Errorf("cpisim: non-positive instruction budget")
 	}
-	if tr == nil {
-		return nil, fmt.Errorf("cpisim: nil trace")
+	if err := checkTraceLive(tr); err != nil {
+		return nil, err
 	}
 	names := make([]string, len(s.benches))
 	seeds := make([]uint64, len(s.benches))

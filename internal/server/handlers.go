@@ -224,7 +224,8 @@ func (s *Server) simulate(ctx context.Context, req DesignRequest) (*SimulateResp
 	if err != nil {
 		return nil, err
 	}
-	pt, bd, err := s.lab.EvalPointContext(ctx, req.B, req.L, req.ISizeKW, req.DSizeKW, scheme, req.L2TimeNs)
+	pt, bd, err := s.lab.EvalPointPolicyContext(ctx, req.B, req.L, req.ISizeKW, req.DSizeKW, scheme, req.L2TimeNs,
+		requestPolicy(req.Policy, s.lab.P))
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +255,8 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			opt, err := s.lab.BestDesignContext(ctx, req.L2TimeNs, scheme, req.Symmetric)
+			opt, err := s.lab.BestDesignPolicyContext(ctx, req.L2TimeNs, scheme, req.Symmetric,
+				requestPolicy(req.Policy, s.lab.P))
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +279,8 @@ func (s *Server) handleSweepRange(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, RequestKey("sweep-range", req),
 		func() (any, bool) { return s.bakedSweepRange(req) },
 		func(ctx context.Context) (any, error) {
-			evals, err := s.lab.EvalDesignRangeContext(ctx, req.L2TimeNs, req.Lo, req.Hi)
+			evals, err := s.lab.EvalDesignRangePolicyContext(ctx, req.L2TimeNs,
+				requestPolicy(req.Policy, s.lab.P), req.Lo, req.Hi)
 			if err != nil {
 				return nil, err
 			}

@@ -136,24 +136,33 @@ func (p *Pool) Inflight() int { return int(p.inflight.Load()) }
 // Workers returns the number of worker goroutines.
 func (p *Pool) Workers() int { return p.workers }
 
+// ClampRetryAfter bounds an advertised backoff to the service-wide 1..30s
+// Retry-After contract. It is the single definition of that contract: the
+// pool's own estimate and the coordinator's re-clamp of shard-advertised
+// values both go through it, so a malformed or hostile upstream header
+// (missing, zero, negative, or absurdly large) can never push a client
+// outside the window.
+func ClampRetryAfter(sec int) int {
+	if sec < 1 {
+		return 1
+	}
+	if sec > 30 {
+		return 30
+	}
+	return sec
+}
+
 // RetryAfterSeconds estimates how long a rejected or aborted request should
 // back off before retrying: the current in-flight depth divided by the
-// worker count (each worker retires roughly one task per unit), floored at
-// one second and capped at 30. It is derived from live queue state, not a
+// worker count (each worker retires roughly one task per unit), clamped to
+// the shared 1..30s contract. It is derived from live queue state, not a
 // constant, so clients back off harder the deeper the backlog.
 func (p *Pool) RetryAfterSeconds() int {
 	w := p.workers
 	if w < 1 {
 		w = 1
 	}
-	s := (int(p.inflight.Load()) + w - 1) / w
-	if s < 1 {
-		s = 1
-	}
-	if s > 30 {
-		s = 30
-	}
-	return s
+	return ClampRetryAfter((int(p.inflight.Load()) + w - 1) / w)
 }
 
 // Close stops accepting work and waits for the workers to drain the queue.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 
+	"pipecache/internal/cache"
 	"pipecache/internal/core"
 	"pipecache/internal/cpisim"
 )
@@ -35,6 +36,11 @@ type DesignRequest struct {
 	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
 	// lab's default.
 	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+	// Policy overrides the cache replacement policy ("lru", "fifo",
+	// "plru"); empty means the lab's default. Normalization collapses an
+	// explicit spelling of the default back to "", so pre-policy request
+	// bodies and cache keys are unchanged.
+	Policy string `json:"policy,omitempty"`
 }
 
 // BestRequest is the body of POST /v1/best: a design-space optimization
@@ -48,6 +54,8 @@ type BestRequest struct {
 	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
 	// lab's default.
 	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+	// Policy overrides the cache replacement policy; see DesignRequest.
+	Policy string `json:"policy,omitempty"`
 }
 
 // decodeJSON strictly decodes one JSON value from r into v: unknown fields,
@@ -98,7 +106,46 @@ func (q DesignRequest) normalize(p core.Params) (DesignRequest, error) {
 	if !inBank(q.DSizeKW, p.SizesKW) {
 		return q, fmt.Errorf("dsize_kw %d not in the configured bank %v", q.DSizeKW, p.SizesKW)
 	}
+	pol, err := normalizePolicy(q.Policy, p)
+	if err != nil {
+		return q, err
+	}
+	q.Policy = pol
 	return q, nil
+}
+
+// normalizePolicy canonicalizes a request's policy field against the lab
+// defaults: "" keeps meaning "the lab's policy", and an explicit spelling
+// of the lab's own policy collapses back to "", so two requests naming the
+// same effective policy share one content-addressed key and marshal
+// byte-identical bodies — and a pre-policy request keeps its pre-policy key.
+func normalizePolicy(s string, p core.Params) (string, error) {
+	if strings.TrimSpace(s) == "" {
+		return "", nil
+	}
+	pol, err := cache.ParsePolicy(strings.ToLower(strings.TrimSpace(s)))
+	if err != nil {
+		return "", err
+	}
+	if pol == p.Policy {
+		return "", nil
+	}
+	return pol.String(), nil
+}
+
+// requestPolicy resolves a normalized policy field to the concrete policy
+// the compute path should simulate: the lab default for "", the named
+// policy otherwise. The field was validated during normalization, so a
+// parse failure here is a programming error.
+func requestPolicy(s string, p core.Params) cache.Policy {
+	if s == "" {
+		return p.Policy
+	}
+	pol, err := cache.ParsePolicy(s)
+	if err != nil {
+		panic(fmt.Sprintf("server: un-normalized policy %q: %v", s, err))
+	}
+	return pol
 }
 
 // DecodeBestRequest parses and validates a /v1/best body, returning the
@@ -124,6 +171,11 @@ func (q BestRequest) normalize(p core.Params) (BestRequest, error) {
 	if q.L2TimeNs < 0 || q.L2TimeNs > 1e6 {
 		return q, fmt.Errorf("l2_time_ns %g out of range", q.L2TimeNs)
 	}
+	pol, err := normalizePolicy(q.Policy, p)
+	if err != nil {
+		return q, err
+	}
+	q.Policy = pol
 	return q, nil
 }
 
@@ -158,6 +210,8 @@ type SweepRangeRequest struct {
 	// L2TimeNs overrides the constant-time L1 miss service; 0 means the
 	// lab's default.
 	L2TimeNs float64 `json:"l2_time_ns,omitempty"`
+	// Policy overrides the cache replacement policy; see DesignRequest.
+	Policy string `json:"policy,omitempty"`
 }
 
 // DecodeSweepRangeRequest parses and validates a /v1/sweep-range body
@@ -181,6 +235,11 @@ func (q SweepRangeRequest) normalize(p core.Params) (SweepRangeRequest, error) {
 	if q.Lo < 0 || q.Hi > n || q.Lo >= q.Hi {
 		return q, fmt.Errorf("range [%d, %d) outside the %d-point design space", q.Lo, q.Hi, n)
 	}
+	pol, err := normalizePolicy(q.Policy, p)
+	if err != nil {
+		return q, err
+	}
+	q.Policy = pol
 	return q, nil
 }
 

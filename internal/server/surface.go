@@ -19,9 +19,12 @@ import (
 // L2 time, un-baked figure penalty), which routes the request to the
 // overlay-and-live fallback.
 
-// bakedSimulate answers /v1/simulate from the surface.
+// bakedSimulate answers /v1/simulate from the surface. A non-empty
+// normalized policy names a policy other than the one the surface was
+// baked under (the lab's default, part of its params-hash), so those
+// requests fall through to the overlay-and-live tiers.
 func (s *Server) bakedSimulate(req DesignRequest) (any, bool) {
-	if req.L2TimeNs != s.lab.P.L2TimeNs {
+	if req.L2TimeNs != s.lab.P.L2TimeNs || req.Policy != "" {
 		return nil, false
 	}
 	scheme, err := parseLoadScheme(req.Loads)
@@ -54,7 +57,7 @@ func (s *Server) bakedSimulate(req DesignRequest) (any, bool) {
 
 // bakedBest answers /v1/best from the surface.
 func (s *Server) bakedBest(req BestRequest) (any, bool) {
-	if req.L2TimeNs != s.lab.P.L2TimeNs {
+	if req.L2TimeNs != s.lab.P.L2TimeNs || req.Policy != "" {
 		return nil, false
 	}
 	scheme, err := parseLoadScheme(req.Loads)
@@ -82,7 +85,7 @@ func (s *Server) bakedBest(req BestRequest) (any, bool) {
 // stored records is core.EvalPointContext — the same definition the live
 // range sweep uses — so the two paths marshal byte-identical bodies.
 func (s *Server) bakedSweepRange(req SweepRangeRequest) (any, bool) {
-	if req.L2TimeNs != s.lab.P.L2TimeNs {
+	if req.L2TimeNs != s.lab.P.L2TimeNs || req.Policy != "" {
 		return nil, false
 	}
 	pts := make([]RangePoint, 0, req.Hi-req.Lo)
